@@ -1,0 +1,165 @@
+// Package aqe is an adaptive compiling query engine: a from-scratch Go
+// reproduction of "Adaptive Execution of Compiled Queries" (Kohn, Leis,
+// Neumann — ICDE 2018), the HyPer adaptive execution paper.
+//
+// Queries are code-generated into a typed SSA IR (the LLVM IR stand-in),
+// translated in linear time into register-machine bytecode, and executed
+// morsel-wise across workers. The engine monitors per-pipeline progress
+// and — in the default adaptive mode — switches hot pipelines to compiled
+// closures (unoptimized or optimized tiers) mid-flight, exactly following
+// the paper's Fig. 5/7 machinery: low latency for small inputs, full
+// throughput for large ones, without up-front cost decisions.
+//
+// Quick start:
+//
+//	db := aqe.Open(aqe.Options{})
+//	db.LoadTPCH(0.01)
+//	res, err := db.ExecSQL(`SELECT l_returnflag, count(*), sum(l_extendedprice)
+//	                        FROM lineitem GROUP BY l_returnflag`)
+//
+// Plans can also be built directly with the plan DSL (see internal/tpch
+// for all 22 TPC-H queries) and run with Exec.
+package aqe
+
+import (
+	"fmt"
+
+	"aqe/internal/exec"
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+	"aqe/internal/sql"
+	"aqe/internal/storage"
+	"aqe/internal/tpch"
+)
+
+// Mode selects the execution mode.
+type Mode = exec.Mode
+
+// Execution modes. ModeAdaptive (the default) starts every pipeline in the
+// bytecode interpreter and compiles it in the background when the
+// extrapolated remaining work justifies it; the other modes fix the tier
+// up front (the paper's static baselines).
+const (
+	ModeBytecode    = exec.ModeBytecode
+	ModeUnoptimized = exec.ModeUnoptimized
+	ModeOptimized   = exec.ModeOptimized
+	ModeAdaptive    = exec.ModeAdaptive
+)
+
+// CostModel predicts compile times for the adaptive controller; see
+// PaperCosts and NativeCosts.
+type CostModel = exec.CostModel
+
+// PaperCosts returns the compile-cost model calibrated to the paper's
+// LLVM measurements; the modeled latency is imposed on compilations
+// (DESIGN.md documents this substitution).
+func PaperCosts() *CostModel { return exec.Paper() }
+
+// NativeCosts returns the model of the in-process closure compilers with
+// no simulated latency.
+func NativeCosts() *CostModel { return exec.Native() }
+
+// Options configures a DB.
+type Options struct {
+	// Workers is the number of worker threads (default 4).
+	Workers int
+	// Mode is the execution mode (default ModeAdaptive).
+	Mode Mode
+	// Cost is the compile-cost model (default NativeCosts()).
+	Cost *CostModel
+	// Trace records per-morsel execution traces on every result.
+	Trace bool
+}
+
+// Result is a materialized query result (see exec.Result).
+type Result = exec.Result
+
+// Stats describes an executed query.
+type Stats = exec.Stats
+
+// DB is a database handle: a table catalog plus an execution engine.
+type DB struct {
+	cat *storage.Catalog
+	eng *exec.Engine
+}
+
+// Open creates a database.
+func Open(opts Options) *DB {
+	eopts := exec.Options{Workers: opts.Workers, Mode: opts.Mode,
+		Cost: opts.Cost, Trace: opts.Trace}
+	if eopts.Mode == 0 && opts.Cost == nil {
+		eopts.Mode = ModeAdaptive
+	}
+	if eopts.Cost == nil {
+		eopts.Cost = exec.Native()
+	}
+	return &DB{cat: storage.NewCatalog(), eng: exec.New(eopts)}
+}
+
+// Register adds a table to the catalog.
+func (db *DB) Register(t *storage.Table) { db.cat.Add(t) }
+
+// Catalog exposes the table catalog.
+func (db *DB) Catalog() *storage.Catalog { return db.cat }
+
+// Engine exposes the underlying execution engine.
+func (db *DB) Engine() *exec.Engine { return db.eng }
+
+// LoadTPCH generates and registers the TPC-H tables at the given scale
+// factor (SF 0.01 ≈ 10 MB, SF 1 ≈ 1 GB).
+func (db *DB) LoadTPCH(sf float64) {
+	cat := tpch.Gen(sf)
+	for _, name := range cat.Names() {
+		db.cat.Add(cat.Table(name))
+	}
+}
+
+// TPCHQuery returns TPC-H query n (1-22) as a plan against this catalog.
+func (db *DB) TPCHQuery(n int) plan.Query { return tpch.Query(db.cat, n) }
+
+// Exec runs a (possibly multi-stage) plan query.
+func (db *DB) Exec(q plan.Query) (*Result, error) { return db.eng.Run(q) }
+
+// ExecPlan runs a single plan.
+func (db *DB) ExecPlan(node plan.Node, name string) (*Result, error) {
+	return db.eng.RunPlan(node, name)
+}
+
+// ExecSQL parses, plans and runs a SQL query (the supported subset covers
+// single- and multi-table SELECT with WHERE, GROUP BY, ORDER BY, LIMIT).
+func (db *DB) ExecSQL(query string) (*Result, error) {
+	node, err := sql.Plan(query, db.cat)
+	if err != nil {
+		return nil, err
+	}
+	return db.eng.RunPlan(node, "sql")
+}
+
+// FormatRows renders result rows for display.
+func FormatRows(res *Result, max int) string {
+	out := ""
+	for i, c := range res.Cols {
+		if i > 0 {
+			out += " | "
+		}
+		out += c
+	}
+	out += "\n"
+	for i, row := range res.Rows {
+		if max >= 0 && i >= max {
+			out += fmt.Sprintf("... (%d more rows)\n", len(res.Rows)-max)
+			break
+		}
+		for j, d := range row {
+			if j > 0 {
+				out += " | "
+			}
+			out += exec.Format(d, res.Types[j])
+		}
+		out += "\n"
+	}
+	return out
+}
+
+// Datum re-exports the scalar result value type.
+type Datum = expr.Datum

@@ -1,0 +1,72 @@
+// Command aqe is an interactive SQL shell over TPC-H data.
+//
+//	aqe -sf 0.05 -mode adaptive
+//	aqe> SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aqe"
+)
+
+var (
+	sf   = flag.Float64("sf", 0.01, "TPC-H scale factor")
+	mode = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|adaptive")
+	wrk  = flag.Int("workers", 4, "worker threads")
+)
+
+func main() {
+	flag.Parse()
+	m := map[string]aqe.Mode{
+		"bytecode": aqe.ModeBytecode, "unoptimized": aqe.ModeUnoptimized,
+		"optimized": aqe.ModeOptimized, "adaptive": aqe.ModeAdaptive,
+	}[*mode]
+	db := aqe.Open(aqe.Options{Workers: *wrk, Mode: m})
+	fmt.Printf("loading TPC-H at SF %g...\n", *sf)
+	db.LoadTPCH(*sf)
+	fmt.Printf("ready (%s mode). Tables: %s\n", *mode,
+		strings.Join(db.Catalog().Names(), ", "))
+	fmt.Println(`type SQL, "\q" to quit, "\tpch N" to run TPC-H query N`)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("aqe> ")
+		if !sc.Scan() {
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\q`:
+			return
+		case strings.HasPrefix(line, `\tpch `):
+			var n int
+			fmt.Sscanf(line[6:], "%d", &n)
+			if n < 1 || n > 22 {
+				fmt.Println("tpch wants 1..22")
+				continue
+			}
+			res, err := db.Exec(db.TPCHQuery(n))
+			show(res, err)
+		default:
+			res, err := db.ExecSQL(line)
+			show(res, err)
+		}
+	}
+}
+
+func show(res *aqe.Result, err error) {
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Print(aqe.FormatRows(res, 25))
+	fmt.Printf("(%d rows; codegen %v, exec %v, tiers %v)\n",
+		len(res.Rows), res.Stats.Codegen, res.Stats.Exec, res.Stats.FinalLevels)
+}

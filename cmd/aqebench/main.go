@@ -1,0 +1,446 @@
+// Command aqebench regenerates every table and figure of the paper's
+// evaluation (§V): per-experiment workload generation, parameter sweeps,
+// baselines, and output in the same rows/series the paper reports.
+//
+//	aqebench -exp all            # everything at the default scale
+//	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
+//
+// Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"time"
+
+	"aqe/internal/codegen"
+	"aqe/internal/exec"
+	"aqe/internal/expr"
+	"aqe/internal/jit"
+	"aqe/internal/plan"
+	"aqe/internal/rt"
+	"aqe/internal/storage"
+	"aqe/internal/synth"
+	"aqe/internal/tpch"
+	"aqe/internal/vector"
+	"aqe/internal/vm"
+	"aqe/internal/volcano"
+)
+
+// mustCompile code-generates a plan, panicking on codegen bugs (this is a
+// benchmark driver).
+func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
+	cq, err := codegen.Compile(node, mem, name)
+	if err != nil {
+		panic(err)
+	}
+	return cq
+}
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|all")
+	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
+	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
+	workers   = flag.Int("workers", 4, "worker threads")
+)
+
+func main() {
+	flag.Parse()
+	run := func(name string, fn func()) {
+		if *expFlag == "all" || *expFlag == name {
+			fmt.Printf("==================== %s ====================\n", name)
+			fn()
+			fmt.Println()
+		}
+	}
+	run("fig2", fig2)
+	run("fig6", fig6)
+	run("fig13", fig13)
+	run("fig14", fig14)
+	run("fig15", fig15)
+	run("table1", table1)
+	run("table2", table2)
+	run("regalloc", regalloc)
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+var catCache = map[float64]*storage.Catalog{}
+
+func catalog(sf float64) *storage.Catalog {
+	if c, ok := catCache[sf]; ok {
+		return c
+	}
+	c := tpch.Gen(sf)
+	catCache[sf] = c
+	return c
+}
+
+// totalTime is planning + codegen + translation + compilation + execution —
+// the quantity Fig. 13 plots — with the paper-calibrated compile latency.
+func totalTime(q plan.Query, mode exec.Mode, w int, cost *exec.CostModel) (time.Duration, error) {
+	e := exec.New(exec.Options{Workers: w, Mode: mode, Cost: cost})
+	t0 := time.Now()
+	_, err := e.Run(q)
+	return time.Since(t0), err
+}
+
+// ---- Fig. 2: compilation vs execution time per mode, TPC-H Q1 ----
+
+func fig2() {
+	cat := catalog(*sfFlag)
+	fmt.Printf("TPC-H Q1 at SF %.2f, single worker (paper: SF 1)\n", *sfFlag)
+	fmt.Printf("%-14s %14s %14s\n", "mode", "compile[ms]", "exec[ms]")
+	modes := []struct {
+		name string
+		mode exec.Mode
+		cost *exec.CostModel
+	}{
+		{"LLVM IR", exec.ModeIRInterp, exec.Native()},
+		{"bytecode", exec.ModeBytecode, exec.Native()},
+		{"unoptimized", exec.ModeUnoptimized, exec.Paper()},
+		{"optimized", exec.ModeOptimized, exec.Paper()},
+	}
+	for _, m := range modes {
+		e := exec.New(exec.Options{Workers: 1, Mode: m.mode, Cost: m.cost})
+		res, err := e.Run(tpch.Query(cat, 1))
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		st := res.Stats
+		compile := st.Translate + st.Compile
+		if m.mode == exec.ModeIRInterp {
+			compile = 0 // no translation step at all
+		}
+		fmt.Printf("%-14s %14.2f %14.2f\n", m.name, ms(compile), ms(st.Exec))
+	}
+	fmt.Println("(unoptimized/optimized compile includes the paper-calibrated LLVM latency model)")
+}
+
+// ---- Fig. 6: compile time vs instruction count ----
+
+func fig6() {
+	cat := catalog(0.01)
+	fmt.Printf("%-10s %8s %10s %10s %12s %12s %12s\n",
+		"query", "instrs", "bc[ms]", "unopt[ms]", "opt[ms]", "unoptLLVM", "optLLVM")
+	model := exec.Paper()
+	report := func(name string, node plan.Node) {
+		mem := rt.NewMemory()
+		cqInstrs, bc, unopt, opt := measureCompile(node, mem, name)
+		fmt.Printf("%-10s %8d %10.3f %10.3f %12.3f %12.2f %12.2f\n",
+			name, cqInstrs, ms(bc), ms(unopt), ms(opt),
+			ms(model.UnoptTime(cqInstrs)), ms(model.OptTime(cqInstrs)))
+	}
+	for qn := 1; qn <= 22; qn++ {
+		q := tpch.Query(cat, qn)
+		// Compile the first stage's plan (later stages need prior results).
+		node := q.Stages[0].Build(nil)
+		report(fmt.Sprintf("Q%d", qn), node)
+	}
+	// Synthetic plans extend the instruction-count axis (the paper uses
+	// TPC-DS for this).
+	st := synth.Table(1000)
+	for _, n := range []int{25, 50, 100, 200, 400} {
+		report(fmt.Sprintf("synth%d", n), synth.WideAggPlan(st, n))
+	}
+}
+
+// measureCompile code-generates a plan and times the three translators.
+func measureCompile(node plan.Node, mem *rt.Memory, name string) (int, time.Duration, time.Duration, time.Duration) {
+	cq := mustCompile(node, mem, name)
+	instrs := cq.Module.NumInstrs()
+	var bc, unopt, opt time.Duration
+	for _, pl := range cq.Pipelines {
+		t0 := time.Now()
+		prog, err := vm.Translate(pl.Fn, vm.Options{})
+		if err != nil {
+			panic(err)
+		}
+		bc += time.Since(t0)
+		t0 = time.Now()
+		if _, err := jit.Compile(pl.Fn, jit.Unoptimized, prog); err != nil {
+			panic(err)
+		}
+		unopt += time.Since(t0)
+		t0 = time.Now()
+		if _, err := jit.Compile(pl.Fn, jit.Optimized, prog); err != nil {
+			panic(err)
+		}
+		opt += time.Since(t0)
+	}
+	return instrs, bc, unopt, opt
+}
+
+// ---- Fig. 13: SF sweep, geometric mean over all 22 queries ----
+
+func fig13() {
+	sfs := []float64{0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30}
+	modes := []exec.Mode{exec.ModeBytecode, exec.ModeUnoptimized,
+		exec.ModeOptimized, exec.ModeAdaptive}
+	fmt.Printf("geometric mean over all 22 TPC-H queries, %d workers, paper cost model\n", *workers)
+	fmt.Printf("%-8s %12s %12s %12s %12s\n", "SF", "bytecode", "unoptimized", "optimized", "adaptive")
+	for _, sf := range sfs {
+		if sf > *maxSfFlag {
+			break
+		}
+		cat := catalog(sf)
+		fmt.Printf("%-8.2f", sf)
+		for _, mode := range modes {
+			logSum, n := 0.0, 0
+			for qn := 1; qn <= 22; qn++ {
+				d, err := totalTime(tpch.Query(cat, qn), mode, *workers, exec.Paper())
+				if err != nil {
+					fmt.Printf(" ERR(Q%d:%v)", qn, err)
+					continue
+				}
+				logSum += math.Log(ms(d))
+				n++
+			}
+			fmt.Printf(" %12.2f", math.Exp(logSum/float64(n)))
+		}
+		fmt.Println(" [ms]")
+	}
+}
+
+// ---- Fig. 14: execution trace of Q11 ----
+
+func fig14() {
+	cat := catalog(*sfFlag)
+	fmt.Printf("TPC-H Q11 at SF %.2f, 4 workers (paper: SF 1)\n\n", *sfFlag)
+	for _, m := range []exec.Mode{exec.ModeBytecode, exec.ModeUnoptimized, exec.ModeAdaptive} {
+		e := exec.New(exec.Options{Workers: 4, Mode: m, Cost: exec.Paper(),
+			Trace: true, MorselSize: 1024})
+		// Run both stages and merge their traces onto one axis.
+		q := tpch.Query(cat, 11)
+		prior := map[string]*storage.Table{}
+		var merged *exec.Trace
+		t0 := time.Now()
+		for i, stg := range q.Stages {
+			node := stg.Build(prior)
+			res, err := e.RunPlan(node, stg.Name)
+			if err != nil {
+				fmt.Println("error:", err)
+				return
+			}
+			if i < len(q.Stages)-1 {
+				prior[stg.Name] = res.ToTable(stg.Name)
+			}
+			if merged == nil {
+				merged = res.Trace
+			} else {
+				merged.Merge(res.Trace)
+			}
+		}
+		fmt.Printf("--- %s: total %.2f ms ---\n", m, ms(time.Since(t0)))
+		fmt.Print(merged.Gantt(96))
+		fmt.Println()
+	}
+}
+
+// ---- Fig. 15: compiling very large queries ----
+
+func fig15() {
+	st := synth.Table(10000)
+	fmt.Printf("%-8s %9s %12s %12s %12s %14s %14s\n",
+		"aggs", "instrs", "bc[ms]", "unopt[ms]", "opt[ms]", "unoptLLVM[ms]", "optLLVM[ms]")
+	model := exec.Paper()
+	for _, n := range []int{10, 50, 100, 200, 400, 800, 1200, 1900} {
+		node := synth.WideAggPlan(st, n)
+		mem := rt.NewMemory()
+		instrs, bc, unopt, opt := measureCompile(node, mem, fmt.Sprintf("wide%d", n))
+		fmt.Printf("%-8d %9d %12.2f %12.2f %12.2f %14.1f %14.1f\n",
+			n, instrs, ms(bc), ms(unopt), ms(opt),
+			ms(model.UnoptTime(instrs)), ms(model.OptTime(instrs)))
+	}
+	fmt.Println("(optLLVM models the paper's super-linear optimized compilation; bytecode stays linear)")
+}
+
+// ---- Table I: planning and compilation times ----
+
+func table1() {
+	cat := catalog(*sfFlag)
+	fmt.Printf("TPC-H planning/compilation times [ms] at SF %.2f\n", *sfFlag)
+	fmt.Printf("%-6s %8s %8s %8s %8s %10s %10s\n",
+		"query", "plan", "cdg.", "bc.", "unopt.", "opt.", "instrs")
+	type row struct {
+		plan, cdg, bc, unopt, opt float64
+		instrs                    int
+	}
+	var maxRow row
+	for qn := 1; qn <= 22; qn++ {
+		q := tpch.Query(cat, qn)
+		t0 := time.Now()
+		node := q.Stages[0].Build(nil)
+		planT := time.Since(t0)
+		mem := rt.NewMemory()
+		t0 = time.Now()
+		cq := mustCompile(node, mem, q.Name)
+		cdgT := time.Since(t0)
+		instrs := cq.Module.NumInstrs()
+		var bc, unopt, opt time.Duration
+		for _, pl := range cq.Pipelines {
+			t0 = time.Now()
+			prog, _ := vm.Translate(pl.Fn, vm.Options{})
+			bc += time.Since(t0)
+			t0 = time.Now()
+			jit.Compile(pl.Fn, jit.Unoptimized, prog)
+			unopt += time.Since(t0)
+			t0 = time.Now()
+			jit.Compile(pl.Fn, jit.Optimized, prog)
+			opt += time.Since(t0)
+		}
+		model := exec.Paper()
+		r := row{ms(planT), ms(cdgT), ms(bc),
+			ms(unopt + model.UnoptTime(instrs)), ms(opt + model.OptTime(instrs)), instrs}
+		if qn <= 5 {
+			fmt.Printf("%-6s %8.3f %8.3f %8.3f %8.1f %10.1f %10d\n",
+				fmt.Sprintf("Q%d", qn), r.plan, r.cdg, r.bc, r.unopt, r.opt, r.instrs)
+		}
+		if r.plan > maxRow.plan {
+			maxRow.plan = r.plan
+		}
+		if r.cdg > maxRow.cdg {
+			maxRow.cdg = r.cdg
+		}
+		if r.bc > maxRow.bc {
+			maxRow.bc = r.bc
+		}
+		if r.unopt > maxRow.unopt {
+			maxRow.unopt = r.unopt
+		}
+		if r.opt > maxRow.opt {
+			maxRow.opt = r.opt
+		}
+	}
+	fmt.Printf("%-6s %8.3f %8.3f %8.3f %8.1f %10.1f\n",
+		"max", maxRow.plan, maxRow.cdg, maxRow.bc, maxRow.unopt, maxRow.opt)
+	fmt.Println("(unopt./opt. include the paper-calibrated LLVM latency model)")
+}
+
+// ---- Table II: execution times per engine ----
+
+func table2() {
+	cat := catalog(*sfFlag)
+	fmt.Printf("TPC-H execution times [ms] at SF %.2f (PG=Volcano stand-in, Monet=column-at-a-time stand-in)\n", *sfFlag)
+	fmt.Printf("%-6s %9s %9s | %9s %9s %9s | %9s %9s %9s\n",
+		"query", "PG", "Monet", "bc.1", "unopt.1", "opt.1",
+		fmt.Sprintf("bc.%d", *workers), fmt.Sprintf("unopt.%d", *workers),
+		fmt.Sprintf("opt.%d", *workers))
+	native := exec.Native()
+	geo := make(map[string][]float64)
+	record := func(k string, v float64) { geo[k] = append(geo[k], v) }
+	for qn := 1; qn <= 22; qn++ {
+		var cells []float64
+		// Baselines run the staged plans directly.
+		for _, eng := range []string{"pg", "monet"} {
+			t0 := time.Now()
+			err := runBaseline(cat, qn, eng)
+			d := ms(time.Since(t0))
+			if err != nil {
+				d = math.NaN()
+			}
+			cells = append(cells, d)
+			record(eng, d)
+		}
+		for _, w := range []int{1, *workers} {
+			for _, mode := range []exec.Mode{exec.ModeBytecode, exec.ModeUnoptimized, exec.ModeOptimized} {
+				e := exec.New(exec.Options{Workers: w, Mode: mode, Cost: native})
+				res, err := e.Run(tpch.Query(cat, qn))
+				d := math.NaN()
+				if err == nil {
+					d = ms(res.Stats.Exec)
+				}
+				cells = append(cells, d)
+				record(fmt.Sprintf("%s.%d", mode, w), d)
+			}
+		}
+		if qn <= 5 {
+			fmt.Printf("%-6s %9.1f %9.1f | %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n",
+				fmt.Sprintf("Q%d", qn), cells[0], cells[1], cells[2], cells[3],
+				cells[4], cells[5], cells[6], cells[7])
+		}
+	}
+	geoMean := func(vs []float64) float64 {
+		s, n := 0.0, 0
+		for _, v := range vs {
+			if !math.IsNaN(v) && v > 0 {
+				s += math.Log(v)
+				n++
+			}
+		}
+		return math.Exp(s / float64(n))
+	}
+	fmt.Printf("%-6s %9.1f %9.1f | %9.1f %9.1f %9.1f | %9.1f %9.1f %9.1f\n", "geo.m.",
+		geoMean(geo["pg"]), geoMean(geo["monet"]),
+		geoMean(geo["bytecode.1"]), geoMean(geo["unoptimized.1"]), geoMean(geo["optimized.1"]),
+		geoMean(geo[fmt.Sprintf("bytecode.%d", *workers)]),
+		geoMean(geo[fmt.Sprintf("unoptimized.%d", *workers)]),
+		geoMean(geo[fmt.Sprintf("optimized.%d", *workers)]))
+}
+
+// runBaseline executes a staged query on a baseline engine.
+func runBaseline(cat *storage.Catalog, qn int, eng string) error {
+	q := tpch.Query(cat, qn)
+	prior := map[string]*storage.Table{}
+	for i, stg := range q.Stages {
+		node := stg.Build(prior)
+		var rows [][]aqeDatum
+		var err error
+		if eng == "pg" {
+			rows, err = volcano.Run(node)
+		} else {
+			rows, err = vector.Run(node)
+		}
+		if err != nil {
+			return err
+		}
+		if i < len(q.Stages)-1 {
+			res := &exec.Result{Rows: rows}
+			for _, c := range node.Schema() {
+				res.Cols = append(res.Cols, c.Name)
+				res.Types = append(res.Types, c.T)
+			}
+			prior[stg.Name] = res.ToTable(stg.Name)
+		}
+	}
+	return nil
+}
+
+// ---- §IV-C: register allocation strategies ----
+
+func regalloc() {
+	cat := catalog(0.01)
+	fmt.Printf("register file size [bytes] per allocation strategy (paper: 36KB / 21KB / 6KB on TPC-DS Q55)\n")
+	fmt.Printf("%-10s %9s %10s %10s %10s\n", "query", "instrs", "no-reuse", "window", "loop-aware")
+	report := func(name string, node plan.Node) {
+		mem := rt.NewMemory()
+		cq := mustCompile(node, mem, name)
+		sizes := map[vm.Strategy]int{}
+		for _, s := range []vm.Strategy{vm.NoReuse, vm.Window, vm.LoopAware} {
+			total := 0
+			for _, pl := range cq.Pipelines {
+				prog, err := vm.Translate(pl.Fn, vm.Options{Strategy: s, WindowSize: 8})
+				if err != nil {
+					panic(err)
+				}
+				if prog.RegFileBytes() > total {
+					total = prog.RegFileBytes()
+				}
+			}
+			sizes[s] = total
+		}
+		fmt.Printf("%-10s %9d %10d %10d %10d\n", name, cq.Module.NumInstrs(),
+			sizes[vm.NoReuse], sizes[vm.Window], sizes[vm.LoopAware])
+	}
+	for _, qn := range []int{1, 5, 9, 21} {
+		report(fmt.Sprintf("Q%d", qn), tpch.Query(cat, qn).Stages[0].Build(nil))
+	}
+	st := synth.Table(100)
+	for _, n := range []int{100, 400} {
+		report(fmt.Sprintf("synth%d", n), synth.WideAggPlan(st, n))
+	}
+}
+
+type aqeDatum = expr.Datum

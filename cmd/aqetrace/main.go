@@ -1,0 +1,53 @@
+// Command aqetrace renders the Fig. 14-style execution trace of one TPC-H
+// query under a chosen execution mode.
+//
+//	aqetrace -q 11 -sf 0.1 -mode adaptive -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"aqe/internal/exec"
+	"aqe/internal/storage"
+	"aqe/internal/tpch"
+)
+
+var (
+	qn   = flag.Int("q", 11, "TPC-H query number (1-22)")
+	sf   = flag.Float64("sf", 0.1, "scale factor")
+	mode = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|adaptive")
+	wrk  = flag.Int("workers", 4, "worker threads")
+)
+
+func main() {
+	flag.Parse()
+	m := map[string]exec.Mode{
+		"bytecode": exec.ModeBytecode, "unoptimized": exec.ModeUnoptimized,
+		"optimized": exec.ModeOptimized, "adaptive": exec.ModeAdaptive,
+	}[*mode]
+	cat := tpch.Gen(*sf)
+	eng := exec.New(exec.Options{Workers: *wrk, Mode: m, Cost: exec.Paper(),
+		Trace: true, MorselSize: 1024})
+	q := tpch.Query(cat, *qn)
+	prior := map[string]*storage.Table{}
+	var merged *exec.Trace
+	for i, stg := range q.Stages {
+		node := stg.Build(prior)
+		res, err := eng.RunPlan(node, stg.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i < len(q.Stages)-1 {
+			prior[stg.Name] = res.ToTable(stg.Name)
+		}
+		if merged == nil {
+			merged = res.Trace
+		} else {
+			merged.Merge(res.Trace)
+		}
+	}
+	fmt.Printf("TPC-H Q%d, SF %g, %s mode, %d workers\n\n", *qn, *sf, *mode, *wrk)
+	fmt.Print(merged.Gantt(110))
+}

@@ -1,0 +1,40 @@
+// Quickstart: open a database, load TPC-H data, run SQL and a TPC-H plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aqe"
+)
+
+func main() {
+	db := aqe.Open(aqe.Options{Workers: 4, Mode: aqe.ModeAdaptive})
+	db.LoadTPCH(0.01) // ~10 MB
+
+	// SQL subset: filters, joins, aggregation, ordering.
+	res, err := db.ExecSQL(`
+		SELECT l_returnflag, count(*) AS n, sum(l_extendedprice) AS total
+		FROM lineitem
+		WHERE l_shipdate <= DATE '1998-09-02'
+		GROUP BY l_returnflag
+		ORDER BY l_returnflag`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- pricing summary (SQL) --")
+	fmt.Print(aqe.FormatRows(res, 10))
+	fmt.Printf("executed %d pipelines in %v (codegen %v, bytecode %v)\n\n",
+		res.Stats.Pipelines, res.Stats.Exec, res.Stats.Codegen, res.Stats.Translate)
+
+	// The built-in TPC-H plans: Q6, the revenue-forecast query.
+	res, err = db.Exec(db.TPCHQuery(6))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("-- TPC-H Q6 --")
+	fmt.Print(aqe.FormatRows(res, 5))
+	for i, lvl := range res.Stats.FinalLevels {
+		fmt.Printf("pipeline %d finished in tier: %v\n", i, lvl)
+	}
+}

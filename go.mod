@@ -1,0 +1,3 @@
+module aqe
+
+go 1.22

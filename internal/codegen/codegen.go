@@ -1,0 +1,415 @@
+// Package codegen translates physical plans into IR, reproducing the code
+// structure of the paper's Fig. 4: the plan is decomposed into pipelines,
+// each pipeline becomes one worker function worker(state, local, begin,
+// end) processing a morsel of its source, and queryStart becomes a
+// function that invokes the pipelines in dependency order through engine
+// externs. queryStart is always interpreted ("it never pays off to compile
+// it"); the worker functions are what adaptive execution compiles.
+package codegen
+
+import (
+	"fmt"
+
+	"aqe/internal/expr"
+	"aqe/internal/ir"
+	"aqe/internal/plan"
+	"aqe/internal/rt"
+	"aqe/internal/storage"
+)
+
+// Query is a fully code-generated query, ready for the execution engine.
+type Query struct {
+	Module     *ir.Module
+	QueryStart *ir.Function
+	Pipelines  []*Pipeline
+
+	StateBytes int
+	LocalBytes int
+
+	Joins    []JoinDesc
+	Aggs     []AggDesc
+	Outs     []OutDesc
+	Patterns []string
+
+	// Literals is the string-literal segment; codegen pre-registered it
+	// and embedded its addresses as constants.
+	Literals []byte
+
+	// Output describes how to decode the result rows of the final
+	// pipeline; Sort/Limit apply to the decoded rows.
+	Output   OutDesc
+	SortKeys []plan.SortKey
+	Limit    int
+	Schema   []plan.ColDef
+}
+
+// Pipeline is the metadata of one worker function.
+type Pipeline struct {
+	ID    int
+	Fn    *ir.Function
+	Label string
+
+	// Source: exactly one of Table / AggSource is set. The engine derives
+	// the morsel count from it at pipeline start.
+	Table     *storage.Table
+	AggSource int // agg id, -1 if table source
+
+	// Sink finalization: ids are -1 when not applicable.
+	SinkJoin int
+	SinkAgg  int
+	SinkOut  int
+}
+
+// JoinDesc mirrors the layout the generated code assumed for a join hash
+// table; the engine materializes a matching rt.JoinHT.
+type JoinDesc struct {
+	TupleSize int
+	StateOff  int
+	NumKeys   int
+}
+
+// AggDesc mirrors the aggregation layout.
+type AggDesc struct {
+	EntrySize     int
+	Keys          []rt.KeyField
+	Aggs          []rt.AggField
+	LocalOff      int
+	IndexStateOff int
+	Scalar        bool
+}
+
+// OutDesc describes an output row buffer.
+type OutDesc struct {
+	RowSize int
+	Cols    []OutCol
+}
+
+// OutCol is one column of an output row.
+type OutCol struct {
+	Name string
+	T    expr.Type
+	Off  int
+}
+
+// litCap is the capacity of the string literal segment.
+const litCap = 1 << 20
+
+// Compile translates a plan into IR against the given address space (the
+// table columns referenced by the plan are registered as segments and
+// their base addresses embedded as constants, as HyPer embeds pointers).
+func Compile(root plan.Node, mem *rt.Memory, name string) (*Query, error) {
+	g := &cgen{
+		mem:        mem,
+		mod:        ir.NewModule(name),
+		colBase:    make(map[*storage.Column]uint64),
+		heapBase:   make(map[*storage.Column]uint64),
+		litIdx:     make(map[string]int64),
+		patternIdx: make(map[string]int),
+	}
+	g.q = &Query{Module: g.mod, Limit: -1}
+	g.q.Literals = make([]byte, litCap)
+	g.litBase = mem.AddSegment(g.q.Literals)
+
+	if ob, ok := root.(*plan.OrderBy); ok {
+		g.q.SortKeys = ob.Keys
+		g.q.Limit = ob.Limit
+		root = ob.Input
+	}
+	g.q.Schema = root.Schema()
+
+	var err error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("codegen: %v", r)
+			}
+		}()
+		outID := g.newOut(root.Schema())
+		g.q.Output = g.q.Outs[outID]
+		g.pipeline(root, &outSink{id: outID, schema: root.Schema()})
+		g.emitQueryStart()
+	}()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range g.mod.Funcs {
+		if verr := f.Verify(); verr != nil {
+			return nil, fmt.Errorf("codegen: generated %s is invalid: %w", f.Name, verr)
+		}
+	}
+	return g.q, nil
+}
+
+type cgen struct {
+	mem *rt.Memory
+	mod *ir.Module
+	q   *Query
+
+	colBase  map[*storage.Column]uint64
+	heapBase map[*storage.Column]uint64
+
+	litBase uint64
+	litOff  int
+	litIdx  map[string]int64
+
+	patternIdx map[string]int
+
+	stateOff int
+	localOff int
+}
+
+// ---- resource allocation ----
+
+func (g *cgen) internLit(s string) (int64, int64) {
+	if off, ok := g.litIdx[s]; ok {
+		return int64(g.litBase) + off, int64(len(s))
+	}
+	if g.litOff+len(s) > litCap {
+		panic("codegen: literal segment full")
+	}
+	off := int64(g.litOff)
+	copy(g.q.Literals[g.litOff:], s)
+	g.litOff += len(s)
+	g.litIdx[s] = off
+	return int64(g.litBase) + off, int64(len(s))
+}
+
+func (g *cgen) internPattern(p string) int {
+	if id, ok := g.patternIdx[p]; ok {
+		return id
+	}
+	id := len(g.q.Patterns)
+	g.q.Patterns = append(g.q.Patterns, p)
+	g.patternIdx[p] = id
+	return id
+}
+
+func (g *cgen) tableBase(c *storage.Column) uint64 {
+	if b, ok := g.colBase[c]; ok {
+		return b
+	}
+	b := g.mem.AddSegment(c.Data())
+	g.colBase[c] = b
+	if c.Kind == storage.String {
+		g.heapBase[c] = g.mem.AddSegment(c.Heap())
+	}
+	return b
+}
+
+// width of a value in pipeline tuples and output rows.
+func valWidth(t expr.Type) int {
+	if t.Kind == expr.KString {
+		return 16
+	}
+	return 8
+}
+
+func (g *cgen) newOut(schema []plan.ColDef) int {
+	d := OutDesc{}
+	for _, c := range schema {
+		d.Cols = append(d.Cols, OutCol{Name: c.Name, T: c.T, Off: d.RowSize})
+		d.RowSize += valWidth(c.T)
+	}
+	g.q.Outs = append(g.q.Outs, d)
+	return len(g.q.Outs) - 1
+}
+
+// ---- sinks ----
+
+type sink interface {
+	// emit generates the sink code for the current tuple; res resolves
+	// the current schema's columns. It must leave the builder in a block
+	// that falls through to the pipeline's continue target.
+	emit(p *pgen, res resolver)
+	// finalize annotates the pipeline metadata.
+	annotate(pl *Pipeline)
+}
+
+// ---- pipeline decomposition ----
+
+// pipeOp is a streaming operator applied within a pipeline.
+type pipeOp interface {
+	apply(p *pgen, res resolver, down func(resolver))
+}
+
+// pipeline decomposes the subplan rooted at n into pipelines, emitting
+// dependency pipelines (join builds, aggregations) first, then the
+// pipeline computing n into the given sink.
+func (g *cgen) pipeline(n plan.Node, sk sink) {
+	var ops []pipeOp
+	label := ""
+	cur := n
+	for {
+		switch x := cur.(type) {
+		case *plan.Filter:
+			ops = append([]pipeOp{&filterOp{cond: x.Cond}}, ops...)
+			cur = x.Input
+		case *plan.Project:
+			ops = append([]pipeOp{&projectOp{node: x}}, ops...)
+			cur = x.Input
+		case *plan.Join:
+			jd := g.newJoinDesc(x)
+			g.pipeline(x.Build, &buildSink{join: x, desc: jd})
+			ops = append([]pipeOp{&probeOp{join: x, desc: jd}}, ops...)
+			cur = x.Probe
+		case *plan.GroupBy:
+			ad := g.newAggDesc(x)
+			g.pipeline(x.Input, &aggSink{node: x, id: ad})
+			g.emitPipeline(nil, ad, x, ops, sk, label)
+			return
+		case *plan.Scan:
+			if x.Filter != nil {
+				ops = append([]pipeOp{&filterOp{cond: x.Filter}}, ops...)
+			}
+			label = "scan " + x.Table.Name
+			g.emitScanPipeline(x, ops, sk, label)
+			return
+		case *plan.OrderBy:
+			panic("codegen: ORDER BY is only supported at the plan root")
+		default:
+			panic(fmt.Sprintf("codegen: unsupported node %T", cur))
+		}
+	}
+}
+
+// joinMeta carries the per-join tuple layout shared between the build sink
+// and the probe operator.
+type joinMeta struct {
+	id   int
+	desc *JoinDesc
+	// fields lists the build-schema columns stored in the tuple (payload
+	// columns plus residual references), in offset order.
+	fields []jfield
+	byIdx  map[int]jfield
+}
+
+// jfield is one stored build column.
+type jfield struct {
+	srcIdx int
+	off    int
+	t      expr.Type
+}
+
+func (g *cgen) newJoinDesc(j *plan.Join) *joinMeta {
+	bs := j.Build.Schema()
+	need := map[int]bool{}
+	for _, idx := range j.PayloadIdx {
+		need[idx] = true
+	}
+	if j.Residual != nil {
+		np := len(j.Probe.Schema())
+		collectCols(j.Residual, func(idx int) {
+			if idx >= np {
+				need[idx-np] = true
+			}
+		})
+	}
+	m := &joinMeta{byIdx: map[int]jfield{}}
+	off := 16 + len(j.BuildKeys)*8
+	for idx := range bs {
+		if !need[idx] {
+			continue
+		}
+		fld := jfield{srcIdx: idx, off: off, t: bs[idx].T}
+		m.fields = append(m.fields, fld)
+		m.byIdx[idx] = fld
+		off += valWidth(bs[idx].T)
+	}
+	d := JoinDesc{TupleSize: off, StateOff: g.stateOff, NumKeys: len(j.BuildKeys)}
+	g.stateOff += 16
+	g.q.Joins = append(g.q.Joins, d)
+	m.id = len(g.q.Joins) - 1
+	m.desc = &g.q.Joins[m.id]
+	return m
+}
+
+// collectCols invokes fn for every column reference in e.
+func collectCols(e expr.Expr, fn func(idx int)) {
+	switch x := e.(type) {
+	case *expr.ColRef:
+		fn(x.Idx)
+	case *expr.Arith:
+		collectCols(x.L, fn)
+		collectCols(x.R, fn)
+	case *expr.Cmp:
+		collectCols(x.L, fn)
+		collectCols(x.R, fn)
+	case *expr.Logic:
+		for _, a := range x.Args {
+			collectCols(a, fn)
+		}
+	case *expr.NotExpr:
+		collectCols(x.Arg, fn)
+	case *expr.LikeExpr:
+		collectCols(x.Arg, fn)
+	case *expr.InList:
+		collectCols(x.Arg, fn)
+	case *expr.CaseExpr:
+		for _, w := range x.Whens {
+			collectCols(w.Cond, fn)
+			collectCols(w.Then, fn)
+		}
+		collectCols(x.Else, fn)
+	case *expr.YearExpr:
+		collectCols(x.Arg, fn)
+	case *expr.SubstrExpr:
+		collectCols(x.Arg, fn)
+	case *expr.CastExpr:
+		collectCols(x.Arg, fn)
+	}
+}
+
+// aggMeta: the flattened slot layout of a group-by.
+type aggMeta struct {
+	id       int
+	keyOffs  []int   // per group key
+	slotOffs [][]int // per AggExpr, its slots (Avg has two)
+}
+
+func (g *cgen) newAggDesc(gb *plan.GroupBy) *aggMeta {
+	m := &aggMeta{}
+	d := AggDesc{LocalOff: g.localOff, IndexStateOff: g.stateOff, Scalar: len(gb.Keys) == 0}
+	g.localOff += rt.LocalSlotBytes
+	g.stateOff += 8
+	off := rt.AggEntryHeader
+	for _, k := range gb.Keys {
+		m.keyOffs = append(m.keyOffs, off)
+		d.Keys = append(d.Keys, rt.KeyField{Off: off, Str: k.Type().Kind == expr.KString})
+		off += valWidth(k.Type())
+	}
+	addSlot := func(kind rt.AggKind) int {
+		d.Aggs = append(d.Aggs, rt.AggField{Kind: kind, Off: off})
+		o := off
+		off += 8
+		return o
+	}
+	for _, a := range gb.Aggs {
+		var slots []int
+		isFloat := a.Arg != nil && a.Arg.Type().Kind == expr.KFloat
+		switch a.Func {
+		case plan.Sum:
+			if isFloat {
+				slots = []int{addSlot(rt.AggSumF)}
+			} else {
+				slots = []int{addSlot(rt.AggSum)}
+			}
+		case plan.Min:
+			slots = []int{addSlot(rt.AggMin)}
+		case plan.Max:
+			slots = []int{addSlot(rt.AggMax)}
+		case plan.Count, plan.CountStar:
+			slots = []int{addSlot(rt.AggCount)}
+		case plan.Avg:
+			if isFloat {
+				slots = []int{addSlot(rt.AggSumF), addSlot(rt.AggCount)}
+			} else {
+				slots = []int{addSlot(rt.AggSum), addSlot(rt.AggCount)}
+			}
+		}
+		m.slotOffs = append(m.slotOffs, slots)
+	}
+	d.EntrySize = off
+	g.q.Aggs = append(g.q.Aggs, d)
+	m.id = len(g.q.Aggs) - 1
+	return m
+}

@@ -1,0 +1,490 @@
+package codegen
+
+import (
+	"fmt"
+
+	"aqe/internal/expr"
+	"aqe/internal/ir"
+	"aqe/internal/plan"
+	"aqe/internal/storage"
+)
+
+// resolver resolves column idx of the current pipeline schema to its value
+// for the current tuple.
+type resolver func(idx int) expr.Val
+
+// cached memoizes a resolver. Memoization is safe because code generation
+// only moves forward into dominated blocks along the pipeline spine, so a
+// value emitted at first use dominates all later uses.
+func cached(res resolver) resolver {
+	memo := map[int]expr.Val{}
+	return func(i int) expr.Val {
+		if v, ok := memo[i]; ok {
+			return v
+		}
+		v := res(i)
+		memo[i] = v
+		return v
+	}
+}
+
+// pgen is the state of generating one worker function.
+//
+// Control-flow invariant shared by ops and sinks: every apply/emit leaves
+// the builder positioned in exactly one open (unterminated) block meaning
+// "this tuple has been fully processed — fall through"; paths that reject
+// the current tuple (failed filters, exhausted anti-joins) branch to
+// p.cont, the innermost continue target (next source tuple, or next hash
+// chain candidate inside an inner-join walk).
+type pgen struct {
+	g     *cgen
+	f     *ir.Function
+	b     *ir.Builder
+	cg    *expr.CG
+	state *ir.Value
+	local *ir.Value
+	cont  *ir.Block
+}
+
+// gen compiles an expression with column references resolved by res.
+func (p *pgen) gen(e expr.Expr, res resolver) expr.Val {
+	old := p.cg.Col
+	p.cg.Col = func(i int) expr.Val { return res(i) }
+	v := p.cg.Gen(e)
+	p.cg.Col = old
+	return v
+}
+
+// genBool compiles a boolean expression to an i1 value.
+func (p *pgen) genBool(e expr.Expr, res resolver) *ir.Value {
+	v := p.gen(e, res).X
+	if v.Type != ir.I1 {
+		v = p.b.ICmp(ir.Ne, v, p.b.ConstI64(0))
+	}
+	return v
+}
+
+// hashKeys emits the hash computation over key values (splitmix-style
+// mixing for integers, the runtime hash for strings). Hash arithmetic is
+// deliberately unchecked: wraparound is part of the function.
+func (p *pgen) hashKeys(vals []expr.Val, types []expr.Type) *ir.Value {
+	b := p.b
+	var h *ir.Value
+	for i, v := range vals {
+		var kh *ir.Value
+		if types[i].Kind == expr.KString {
+			kh = b.Call("str_hash", ir.I64, v.X, v.Len)
+		} else {
+			kh = b.Mul(v.X, b.ConstI64(-0x61c8864680b583eb)) // 0x9E3779B97F4A7C15
+			kh = b.Xor(kh, b.LShr(kh, b.ConstI64(32)))
+			kh = b.Mul(kh, b.ConstI64(-0x7ee3623a03d3b4a3)) // 0x811c9dc5c85c7e5d
+			kh = b.Xor(kh, b.LShr(kh, b.ConstI64(29)))
+		}
+		if h == nil {
+			h = kh
+		} else {
+			h = b.Mul(b.Xor(h, kh), b.ConstI64(-0x61c8864680b583eb))
+		}
+	}
+	return h
+}
+
+// loadAt emits a typed load of a tuple field at addr+off.
+func (p *pgen) loadAt(base *ir.Value, off int, t expr.Type) expr.Val {
+	b := p.b
+	switch t.Kind {
+	case expr.KFloat:
+		return expr.Val{X: b.Load(ir.F64, b.GEP(base, nil, 0, int64(off)))}
+	case expr.KString:
+		addr := b.Load(ir.I64, b.GEP(base, nil, 0, int64(off)))
+		n := b.Load(ir.I64, b.GEP(base, nil, 0, int64(off+8)))
+		return expr.Val{X: addr, Len: n}
+	default:
+		return expr.Val{X: b.Load(ir.I64, b.GEP(base, nil, 0, int64(off)))}
+	}
+}
+
+// storeAt emits a typed store of v to base+off.
+func (p *pgen) storeAt(base *ir.Value, off int, v expr.Val, t expr.Type) {
+	b := p.b
+	x := v.X
+	switch t.Kind {
+	case expr.KString:
+		b.Store(b.GEP(base, nil, 0, int64(off)), x)
+		b.Store(b.GEP(base, nil, 0, int64(off+8)), v.Len)
+	case expr.KBool:
+		if x.Type == ir.I1 {
+			x = b.ZExt(x, ir.I64)
+		}
+		b.Store(b.GEP(base, nil, 0, int64(off)), x)
+	default:
+		b.Store(b.GEP(base, nil, 0, int64(off)), x)
+	}
+}
+
+// ---- worker scaffolding ----
+
+// emitWorker builds the morsel-loop scaffold (the paper's Fig. 4 worker
+// shape) and runs body generation inside it. mkRes builds the source
+// resolver given the loop induction variable.
+func (g *cgen) emitWorker(label string, mkRes func(p *pgen, i *ir.Value) resolver,
+	ops []pipeOp, sk sink) *ir.Function {
+
+	f := g.mod.NewFunc(fmt.Sprintf("worker%d", len(g.q.Pipelines)),
+		ir.I64, ir.I64, ir.I64, ir.I64) // state, local, begin, end
+	b := ir.NewBuilder(f)
+	p := &pgen{g: g, f: f, b: b, state: f.Params[0], local: f.Params[1]}
+	p.cg = &expr.CG{B: b, Pattern: g.internPattern, StrLit: g.internLit}
+
+	entry := b.B
+	head := f.NewBlock()
+	body := f.NewBlock()
+	contB := f.NewBlock()
+	exit := f.NewBlock()
+
+	b.Br(head)
+	b.SetBlock(head)
+	i := b.Phi(ir.I64)
+	cond := b.ICmp(ir.SLt, i, f.Params[3])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	p.cont = contB
+	res := cached(mkRes(p, i))
+	apply(p, ops, res, sk)
+	b.Br(contB)
+
+	b.SetBlock(contB)
+	i2 := b.Add(i, b.ConstI64(1))
+	b.Br(head)
+	ir.AddIncoming(i, f.Params[2], entry)
+	ir.AddIncoming(i, i2, contB)
+
+	b.SetBlock(exit)
+	b.RetVoid()
+	return f
+}
+
+// apply runs the operator chain in continuation-passing style and emits
+// the sink innermost.
+func apply(p *pgen, ops []pipeOp, res resolver, sk sink) {
+	var step func(k int, r resolver)
+	step = func(k int, r resolver) {
+		if k == len(ops) {
+			sk.emit(p, r)
+			return
+		}
+		ops[k].apply(p, r, func(r2 resolver) { step(k+1, r2) })
+	}
+	step(0, res)
+}
+
+func (g *cgen) addPipeline(f *ir.Function, label string, table *storage.Table,
+	aggSrc int, sk sink) {
+	pl := &Pipeline{
+		ID: len(g.q.Pipelines), Fn: f, Label: label,
+		Table: table, AggSource: aggSrc,
+		SinkJoin: -1, SinkAgg: -1, SinkOut: -1,
+	}
+	sk.annotate(pl)
+	g.q.Pipelines = append(g.q.Pipelines, pl)
+}
+
+// emitScanPipeline generates a pipeline sourced from a table scan.
+func (g *cgen) emitScanPipeline(s *plan.Scan, ops []pipeOp, sk sink, label string) {
+	// Disambiguate repeated scans of the same table (Fig. 14's
+	// "scan partsupp 1 / 2").
+	n := 1
+	for _, pl := range g.q.Pipelines {
+		if pl.Table == s.Table {
+			n++
+		}
+	}
+	if n > 1 {
+		label = fmt.Sprintf("%s %d", label, n)
+	}
+	f := g.emitWorker(label, func(p *pgen, i *ir.Value) resolver {
+		return g.scanResolver(p, s, i)
+	}, ops, sk)
+	g.addPipeline(f, label, s.Table, -1, sk)
+}
+
+func (g *cgen) scanResolver(p *pgen, s *plan.Scan, i *ir.Value) resolver {
+	return func(j int) expr.Val {
+		b := p.b
+		c := s.Table.MustCol(s.Cols[j])
+		base := b.ConstI64(int64(g.tableBase(c)))
+		switch c.Kind {
+		case storage.Char:
+			v := b.Load(ir.I8, b.GEP(base, i, 1, 0))
+			return expr.Val{X: b.ZExt(v, ir.I64)}
+		case storage.Float64:
+			return expr.Val{X: b.Load(ir.F64, b.GEP(base, i, 8, 0))}
+		case storage.String:
+			off := b.Load(ir.I64, b.GEP(base, i, 16, 0))
+			n := b.Load(ir.I64, b.GEP(base, i, 16, 8))
+			heap := b.ConstI64(int64(g.heapBase[c]))
+			return expr.Val{X: b.Add(heap, off), Len: n}
+		default:
+			return expr.Val{X: b.Load(ir.I64, b.GEP(base, i, 8, 0))}
+		}
+	}
+}
+
+// emitPipeline generates a pipeline sourced from the groups of an
+// aggregation (the scan over the merged hash table's dense index).
+func (g *cgen) emitPipeline(_ *storage.Table, am *aggMeta, gb *plan.GroupBy,
+	ops []pipeOp, sk sink, label string) {
+	if label == "" {
+		label = "hash table scan"
+	}
+	desc := &g.q.Aggs[am.id]
+	f := g.emitWorker(label, func(p *pgen, i *ir.Value) resolver {
+		b := p.b
+		idxBase := b.Load(ir.I64, b.GEP(p.state, nil, 0, int64(desc.IndexStateOff)))
+		e := b.Load(ir.I64, b.GEP(idxBase, i, 8, 0))
+		return g.groupResolver(p, am, gb, e)
+	}, ops, sk)
+	g.addPipeline(f, label, nil, am.id, sk)
+}
+
+// groupResolver resolves the GroupBy output schema against a group entry.
+func (g *cgen) groupResolver(p *pgen, am *aggMeta, gb *plan.GroupBy, e *ir.Value) resolver {
+	nk := len(gb.Keys)
+	return func(j int) expr.Val {
+		b := p.b
+		if j < nk {
+			return p.loadAt(e, am.keyOffs[j], gb.Keys[j].Type())
+		}
+		a := gb.Aggs[j-nk]
+		slots := am.slotOffs[j-nk]
+		switch a.Func {
+		case plan.Avg:
+			sum := p.loadAt(e, slots[0], sumSlotType(a))
+			cnt := b.Load(ir.I64, b.GEP(e, nil, 0, int64(slots[1])))
+			var sumF *ir.Value
+			if a.Arg.Type().Kind == expr.KFloat {
+				sumF = sum.X
+			} else {
+				sumF = b.SIToFP(sum.X)
+				if s := a.Arg.Type().Scale; s > 0 {
+					sumF = b.FDiv(sumF, b.ConstF64(float64(pow10(s))))
+				}
+			}
+			return expr.Val{X: b.FDiv(sumF, b.SIToFP(cnt))}
+		case plan.Sum:
+			return p.loadAt(e, slots[0], sumSlotType(a))
+		default: // Min/Max/Count/CountStar
+			return expr.Val{X: b.Load(ir.I64, b.GEP(e, nil, 0, int64(slots[0])))}
+		}
+	}
+}
+
+func sumSlotType(a plan.AggExpr) expr.Type {
+	if a.Arg.Type().Kind == expr.KFloat {
+		return expr.TFloat
+	}
+	return a.Arg.Type()
+}
+
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+// ---- streaming operators ----
+
+type filterOp struct{ cond expr.Expr }
+
+func (op *filterOp) apply(p *pgen, res resolver, down func(resolver)) {
+	// Force the referenced columns into the spine first: a column whose
+	// first load were emitted inside a CASE arm of the condition would
+	// not dominate later uses.
+	force(res, op.cond)
+	c := p.genBool(op.cond, res)
+	pass := p.b.NewBlock()
+	p.b.CondBr(c, pass, p.cont)
+	p.b.SetBlock(pass)
+	down(res)
+}
+
+// force pre-resolves every column referenced by the expressions in the
+// current block, populating the resolver cache at a point that dominates
+// all later uses.
+func force(res resolver, exprs ...expr.Expr) {
+	for _, e := range exprs {
+		if e == nil {
+			continue
+		}
+		collectCols(e, func(i int) { res(i) })
+	}
+}
+
+type projectOp struct{ node *plan.Project }
+
+func (op *projectOp) apply(p *pgen, res resolver, down func(resolver)) {
+	// Projections evaluate eagerly in the spine (CASE arms re-join it),
+	// so downstream uses see dominating definitions.
+	vals := make([]expr.Val, len(op.node.Exprs))
+	for j, e := range op.node.Exprs {
+		force(res, e)
+		vals[j] = p.gen(e, res)
+	}
+	down(func(j int) expr.Val { return vals[j] })
+}
+
+// probeOp is a hash-join probe: it walks the bucket chain of the build-side
+// table entirely in generated code (Fig. 4's workerC shape).
+type probeOp struct {
+	join *plan.Join
+	desc *joinMeta
+}
+
+func (op *probeOp) apply(p *pgen, res resolver, down func(resolver)) {
+	b := p.b
+	f := p.f
+	j := op.join
+	np := len(j.Probe.Schema())
+
+	keyTypes := make([]expr.Type, len(j.ProbeKeys))
+	keyVals := make([]expr.Val, len(j.ProbeKeys))
+	for i, k := range j.ProbeKeys {
+		keyTypes[i] = k.Type()
+		keyVals[i] = p.gen(k, res)
+	}
+	h := p.hashKeys(keyVals, keyTypes)
+
+	stOff := int64(op.desc.desc.StateOff)
+	buckets := b.Load(ir.I64, b.GEP(p.state, nil, 0, stOff))
+	mask := b.Load(ir.I64, b.GEP(p.state, nil, 0, stOff+8))
+	slot := b.And(h, mask)
+	head := b.Load(ir.I64, b.GEP(buckets, slot, 8, 0))
+
+	walk := f.NewBlock()
+	advance := f.NewBlock()
+	exitW := f.NewBlock()
+	outer := op.outerCount()
+
+	pre := b.B
+	b.Br(walk)
+	b.SetBlock(walk)
+	e := b.Phi(ir.I64)
+	ir.AddIncoming(e, head, pre)
+	var cnt *ir.Value
+	if outer {
+		cnt = b.Phi(ir.I64)
+		ir.AddIncoming(cnt, b.ConstI64(0), pre)
+	}
+	// advIn collects (value, block) pairs flowing into the advance block's
+	// count φ.
+	type adv struct {
+		v   *ir.Value
+		blk *ir.Block
+	}
+	var advIn []adv
+	gotoAdvance := func(c *ir.Value, then *ir.Block) {
+		// condbr c ? then : advance from the current block.
+		if outer {
+			advIn = append(advIn, adv{cnt, b.B})
+		}
+		b.CondBr(c, then, advance)
+		b.SetBlock(then)
+	}
+
+	checkB := f.NewBlock()
+	b.CondBr(b.ICmp(ir.Eq, e, b.ConstI64(0)), exitW, checkB)
+	b.SetBlock(checkB)
+
+	// Hash, then key comparisons.
+	eh := b.Load(ir.I64, b.GEP(e, nil, 0, 0))
+	gotoAdvance(b.ICmp(ir.Eq, eh, h), f.NewBlock())
+	for i := range j.ProbeKeys {
+		bk := b.Load(ir.I64, b.GEP(e, nil, 0, int64(16+8*i)))
+		gotoAdvance(b.ICmp(ir.Eq, bk, keyVals[i].X), f.NewBlock())
+	}
+
+	// Residual over [probe ++ build].
+	if j.Residual != nil {
+		combined := cached(func(idx int) expr.Val {
+			if idx < np {
+				return res(idx)
+			}
+			fld, ok := op.desc.byIdx[idx-np]
+			if !ok {
+				panic("codegen: residual references unsaved build column")
+			}
+			return p.loadAt(e, fld.off, fld.t)
+		})
+		force(combined, j.Residual)
+		c := p.genBool(j.Residual, combined)
+		gotoAdvance(c, f.NewBlock())
+	}
+
+	// Match.
+	switch j.Kind {
+	case plan.Inner:
+		// Pre-load the payload eagerly at the match point.
+		payload := make([]expr.Val, len(j.PayloadIdx))
+		for i, src := range j.PayloadIdx {
+			fld := op.desc.byIdx[src]
+			payload[i] = p.loadAt(e, fld.off, fld.t)
+		}
+		outRes := cached(func(idx int) expr.Val {
+			if idx < np {
+				return res(idx)
+			}
+			return payload[idx-np]
+		})
+		savedCont := p.cont
+		p.cont = advance
+		down(outRes)
+		p.cont = savedCont
+		b.Br(advance)
+		b.SetBlock(exitW)
+		// exitW is the open fall-through: tuple done.
+	case plan.Semi:
+		// First match wins: process downstream once and abandon the walk.
+		down(res)
+		open := b.B // downstream end: the tuple-done fall-through
+		b.SetBlock(exitW)
+		b.Br(p.cont) // exhausted without a match: reject the tuple
+		b.SetBlock(open)
+	case plan.Anti:
+		// A match rejects the tuple.
+		b.Br(p.cont)
+		b.SetBlock(exitW)
+		down(res)
+	case plan.OuterCount:
+		cnt2 := b.Add(cnt, b.ConstI64(1))
+		advIn = append(advIn, adv{cnt2, b.B})
+		b.Br(advance)
+		b.SetBlock(exitW)
+		outRes := cached(func(idx int) expr.Val {
+			if idx < np {
+				return res(idx)
+			}
+			return expr.Val{X: cnt}
+		})
+		down(outRes)
+	}
+
+	// advance: next chain entry.
+	cur := b.B
+	b.SetBlock(advance)
+	if outer {
+		cntAdv := b.Phi(ir.I64)
+		for _, a := range advIn {
+			ir.AddIncoming(cntAdv, a.v, a.blk)
+		}
+		ir.AddIncoming(cnt, cntAdv, advance)
+	}
+	enext := b.Load(ir.I64, b.GEP(e, nil, 0, 8))
+	b.Br(walk)
+	ir.AddIncoming(e, enext, advance)
+	b.SetBlock(cur)
+}
+
+func (op *probeOp) outerCount() bool { return op.join.Kind == plan.OuterCount }

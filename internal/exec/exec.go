@@ -1,0 +1,238 @@
+// Package exec is the paper's primary contribution: the adaptive execution
+// framework (§III). Queries always start in the bytecode interpreter on
+// all workers; the engine tracks per-pipeline progress at morsel
+// boundaries, extrapolates the remaining duration of every execution mode
+// (Fig. 7), and switches pipelines to unoptimized or optimized compiled
+// code mid-flight by swapping the function handle's variant (Fig. 5) — no
+// work is lost because all tiers execute identical semantics over the
+// same runtime state (§IV-E).
+package exec
+
+import (
+	"fmt"
+	"time"
+
+	"aqe/internal/codegen"
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+	"aqe/internal/rt"
+	"aqe/internal/storage"
+	"aqe/internal/vm"
+	"aqe/internal/volcano"
+)
+
+// Mode selects how a query executes.
+type Mode int
+
+// Execution modes (§V compares the three static modes against adaptive).
+// ModeIRInterp directly interprets the SSA graph — the paper's "LLVM IR"
+// interpreter baseline of Fig. 2, far slower than the bytecode VM.
+const (
+	ModeBytecode Mode = iota
+	ModeUnoptimized
+	ModeOptimized
+	ModeAdaptive
+	ModeIRInterp
+)
+
+func (m Mode) String() string {
+	return [...]string{"bytecode", "unoptimized", "optimized", "adaptive", "ir-interp"}[m]
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the number of worker threads (default 4).
+	Workers int
+	// Mode is the execution mode (default ModeAdaptive).
+	Mode Mode
+	// Cost is the compile-cost model (default Paper()).
+	Cost *CostModel
+	// Trace enables per-morsel trace recording.
+	Trace bool
+	// VM configures the bytecode translator (register allocation
+	// strategy, fusion) for ablation experiments.
+	VM vm.Options
+	// MorselSize overrides the initial morsel size (default 2048).
+	MorselSize int64
+}
+
+// Engine executes plans.
+type Engine struct {
+	opts Options
+	reg  *rt.Registry
+}
+
+// New creates an engine.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = 4
+	}
+	if opts.Cost == nil {
+		opts.Cost = Paper()
+	}
+	if opts.MorselSize <= 0 {
+		opts.MorselSize = 2048
+	}
+	e := &Engine{opts: opts, reg: rt.NewRegistry()}
+	rt.RegisterBuiltins(e.reg)
+	e.reg.Register("pipeline_run", func(ctx *rt.Ctx, args []uint64) uint64 {
+		qr := ctx.Query.(*rt.QueryState).Eng.(*queryRun)
+		qr.runPipeline(int(args[0]))
+		return 0
+	})
+	return e
+}
+
+// Options returns the engine configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Stats describes one executed stage (the last stage's stats are the
+// query's).
+type Stats struct {
+	Codegen   time.Duration // plan -> IR
+	Translate time.Duration // IR -> bytecode (all pipelines + queryStart)
+	Compile   time.Duration // up-front compilation (static modes)
+	Exec      time.Duration // queryStart + pipelines + result decode
+	Total     time.Duration
+
+	Instrs       int // IR instructions in the module
+	Pipelines    int
+	FinalLevels  []Level // per pipeline, the tier that finished it
+	Compilations int     // adaptive compilations launched
+	RegFileBytes int     // largest bytecode register file
+	FusedOps     int     // macro-ops fused across pipelines (§IV-F)
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Cols  []string
+	Types []expr.Type
+	Rows  [][]expr.Datum
+	Stats Stats
+	Trace *Trace
+}
+
+// Format renders a datum for display.
+func Format(d expr.Datum, t expr.Type) string {
+	switch t.Kind {
+	case expr.KFloat:
+		return fmt.Sprintf("%.4f", d.F)
+	case expr.KDecimal:
+		return storage.DecimalString(d.I, t.Scale)
+	case expr.KDate:
+		return storage.FormatDate(d.I)
+	case expr.KString:
+		return d.S
+	case expr.KChar:
+		return string(byte(d.I))
+	case expr.KBool:
+		if d.I != 0 {
+			return "true"
+		}
+		return "false"
+	default:
+		return fmt.Sprintf("%d", d.I)
+	}
+}
+
+// ToTable materializes the result as a storage table (stage results are
+// scanned by later stages this way).
+func (r *Result) ToTable(name string) *storage.Table {
+	cols := make([]*storage.Column, len(r.Cols))
+	for i, cn := range r.Cols {
+		var k storage.Kind
+		switch r.Types[i].Kind {
+		case expr.KDecimal:
+			k = storage.Decimal
+		case expr.KDate:
+			k = storage.Date
+		case expr.KFloat:
+			k = storage.Float64
+		case expr.KChar:
+			k = storage.Char
+		case expr.KString:
+			k = storage.String
+		default:
+			k = storage.Int64
+		}
+		cols[i] = storage.NewColumn(cn, k)
+		cols[i].Scale = r.Types[i].Scale
+	}
+	for _, row := range r.Rows {
+		for i, d := range row {
+			switch cols[i].Kind {
+			case storage.Float64:
+				cols[i].AppendFloat64(d.F)
+			case storage.Char:
+				cols[i].AppendChar(byte(d.I))
+			case storage.String:
+				cols[i].AppendString(d.S)
+			default:
+				cols[i].AppendInt64(d.I)
+			}
+		}
+	}
+	return storage.NewTable(name, cols...)
+}
+
+// Run executes a multi-stage query: every stage materializes into a table
+// visible to later stages; the final stage's rows are the result.
+func (e *Engine) Run(q plan.Query) (*Result, error) {
+	prior := make(map[string]*storage.Table)
+	var last *Result
+	for i, st := range q.Stages {
+		node := st.Build(prior)
+		res, err := e.RunPlan(node, fmt.Sprintf("%s/%s", q.Name, st.Name))
+		if err != nil {
+			return nil, fmt.Errorf("%s stage %q: %w", q.Name, st.Name, err)
+		}
+		if i < len(q.Stages)-1 {
+			prior[st.Name] = res.ToTable(st.Name)
+		}
+		last = res
+	}
+	return last, nil
+}
+
+// RunPlan code-generates and executes a single plan.
+func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
+	t0 := time.Now()
+	mem := rt.NewMemory()
+	cq, err := codegen.Compile(node, mem, name)
+	if err != nil {
+		return nil, err
+	}
+	var st Stats
+	st.Codegen = time.Since(t0)
+	st.Instrs = cq.Module.NumInstrs()
+	st.Pipelines = len(cq.Pipelines)
+
+	qr, err := e.newQueryRun(cq, mem, &st)
+	if err != nil {
+		return nil, err
+	}
+	tExec := time.Now()
+	rows, err := qr.execute()
+	if err != nil {
+		return nil, err
+	}
+	st.Exec = time.Since(tExec)
+
+	// Sort / limit on the decoded rows.
+	if len(cq.SortKeys) > 0 {
+		volcano.SortRows(rows, cq.SortKeys)
+	}
+	if cq.Limit >= 0 && len(rows) > cq.Limit {
+		rows = rows[:cq.Limit]
+	}
+	st.Total = time.Since(t0)
+	for _, h := range qr.handles {
+		st.FinalLevels = append(st.FinalLevels, h.Level())
+	}
+	res := &Result{Rows: rows, Stats: st, Trace: qr.trace}
+	for _, c := range cq.Schema {
+		res.Cols = append(res.Cols, c.Name)
+		res.Types = append(res.Types, c.T)
+	}
+	return res, nil
+}

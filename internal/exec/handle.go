@@ -1,0 +1,96 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"aqe/internal/ir"
+	"aqe/internal/ir/interp"
+	"aqe/internal/jit"
+	"aqe/internal/rt"
+	"aqe/internal/vm"
+)
+
+// Level is the execution tier of a worker function.
+type Level int32
+
+// Execution tiers, ordered by throughput (Fig. 3).
+const (
+	LevelBytecode Level = iota
+	LevelUnoptimized
+	LevelOptimized
+)
+
+func (l Level) String() string {
+	switch l {
+	case LevelBytecode:
+		return "bytecode"
+	case LevelUnoptimized:
+		return "unoptimized"
+	default:
+		return "optimized"
+	}
+}
+
+// Handle is the paper's function handle (Fig. 5): it stores every variant
+// of a worker function and dispatches each morsel to the fastest one
+// available. Changing the execution mode is a single atomic pointer store;
+// all workers pick up the new variant at their next morsel.
+type Handle struct {
+	Fn     *ir.Function
+	Prog   *vm.Program // bytecode, always available
+	Instrs int
+
+	// UseIRInterp forces direct SSA interpretation (ModeIRInterp).
+	UseIRInterp bool
+
+	compiled  atomic.Pointer[jit.Compiled]
+	level     atomic.Int32
+	compiling atomic.Bool
+}
+
+// NewHandle translates the function to bytecode and wraps it.
+func NewHandle(fn *ir.Function, opts vm.Options) (*Handle, error) {
+	prog, err := vm.Translate(fn, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Handle{Fn: fn, Prog: prog, Instrs: fn.NumInstrs()}, nil
+}
+
+// Level returns the currently installed tier.
+func (h *Handle) Level() Level { return Level(h.level.Load()) }
+
+// Compiling reports whether a background compilation is in flight.
+func (h *Handle) Compiling() bool { return h.compiling.Load() }
+
+// BeginCompile marks a compilation in flight; returns false if one
+// already is.
+func (h *Handle) BeginCompile() bool {
+	return h.compiling.CompareAndSwap(false, true)
+}
+
+// Install publishes a compiled variant; all remaining morsels of the
+// pipeline immediately switch to it (§III-B: "Once set, all remaining
+// morsels will be processed using the new variant").
+func (h *Handle) Install(c *jit.Compiled, l Level) {
+	h.compiled.Store(c)
+	h.level.Store(int32(l))
+	h.compiling.Store(false)
+}
+
+// AbortCompile clears the in-flight flag after a failed compilation.
+func (h *Handle) AbortCompile() { h.compiling.Store(false) }
+
+// Dispatch runs one morsel with the fastest available variant — the
+// paper's per-morsel dispatch code (Fig. 5).
+func (h *Handle) Dispatch(ctx *rt.Ctx, args []uint64) {
+	if h.UseIRInterp {
+		interp.Run(h.Fn, ctx, args)
+		return
+	}
+	if c := h.compiled.Load(); c != nil {
+		c.Run(ctx, args)
+		return
+	}
+	h.Prog.Run(ctx, args)
+}

@@ -1,0 +1,464 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aqe/internal/codegen"
+	"aqe/internal/expr"
+	"aqe/internal/jit"
+	"aqe/internal/rt"
+	"aqe/internal/vm"
+)
+
+// queryRun is the runtime state of one executing plan.
+type queryRun struct {
+	eng   *Engine
+	cq    *codegen.Query
+	mem   *rt.Memory
+	qs    *rt.QueryState
+	stats *Stats
+
+	handles    []*Handle
+	queryStart *vm.Program
+	ctxs       []*rt.Ctx // per worker
+	coord      *rt.Ctx
+
+	trace *Trace
+
+	failMu sync.Mutex
+	failed error
+}
+
+// newQueryRun binds externs, translates all worker functions to bytecode,
+// performs up-front compilation for the static modes, and builds the
+// runtime state the code generator's descriptors require.
+func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*queryRun, error) {
+	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st}
+	if e.opts.Trace {
+		qr.trace = NewTrace()
+	}
+
+	tTr := time.Now()
+	for _, pl := range cq.Pipelines {
+		h, err := NewHandle(pl.Fn, e.opts.VM)
+		if err != nil {
+			return nil, err
+		}
+		h.UseIRInterp = e.opts.Mode == ModeIRInterp
+		qr.handles = append(qr.handles, h)
+		if h.Prog.RegFileBytes() > st.RegFileBytes {
+			st.RegFileBytes = h.Prog.RegFileBytes()
+		}
+		st.FusedOps += h.Prog.Fused
+	}
+	qsProg, err := vm.Translate(cq.QueryStart, e.opts.VM)
+	if err != nil {
+		return nil, err
+	}
+	qr.queryStart = qsProg
+	st.Translate = time.Since(tTr)
+
+	// Static compiled modes compile the whole module up-front,
+	// single-threaded, before execution starts (§II-A) — this is the
+	// latency the adaptive mode exists to avoid.
+	if e.opts.Mode == ModeUnoptimized || e.opts.Mode == ModeOptimized {
+		tC := time.Now()
+		level := jit.Unoptimized
+		hl := LevelUnoptimized
+		if e.opts.Mode == ModeOptimized {
+			level = jit.Optimized
+			hl = LevelOptimized
+		}
+		for _, h := range qr.handles {
+			c, cerr := jit.Compile(h.Fn, level, h.Prog)
+			if cerr != nil {
+				return nil, cerr
+			}
+			h.Install(c, hl)
+		}
+		if e.opts.Cost.Simulate {
+			d := qr.modelCompileTime(hl, st.Instrs, maxFnInstrs(cq))
+			time.Sleep(d)
+		}
+		st.Compile = time.Since(tC)
+		if qr.trace != nil {
+			qr.trace.Add(Event{Kind: EvCompile, Pipeline: -1, Worker: -1,
+				Level: hl, Start: 0, End: qr.trace.Since(time.Now())})
+		}
+	}
+
+	// Runtime state per the code generator's layout.
+	qs := rt.NewQueryState(mem, e.opts.Workers, cq.StateBytes, cq.LocalBytes)
+	for _, jd := range cq.Joins {
+		qs.AddJoin(jd.TupleSize, jd.StateOff)
+	}
+	for _, ad := range cq.Aggs {
+		qs.AddAgg(ad.EntrySize, ad.Keys, ad.Aggs, ad.LocalOff, ad.Scalar)
+	}
+	for _, od := range cq.Outs {
+		qs.AddOut(od.RowSize)
+	}
+	for _, p := range cq.Patterns {
+		qs.AddPattern(p)
+	}
+	qs.Eng = qr
+	qr.qs = qs
+
+	names := make([]string, len(cq.Module.Externs))
+	for i, ex := range cq.Module.Externs {
+		names[i] = ex.Name
+	}
+	funcs, err := e.reg.Bind(names)
+	if err != nil {
+		return nil, err
+	}
+	for w := 0; w < e.opts.Workers; w++ {
+		qr.ctxs = append(qr.ctxs, &rt.Ctx{Mem: mem, Funcs: funcs, Worker: w, Query: qs})
+	}
+	qr.coord = &rt.Ctx{Mem: mem, Funcs: funcs, Worker: 0, Query: qs}
+	return qr, nil
+}
+
+// modelCompileTime returns the simulated whole-module compile latency.
+func (qr *queryRun) modelCompileTime(l Level, moduleInstrs, maxFn int) time.Duration {
+	m := qr.eng.opts.Cost
+	if l == LevelOptimized {
+		// Linear in the module, super-linear in the largest function.
+		d := m.OptBase + time.Duration(moduleInstrs)*m.OptPerInstr
+		if m.OptCubic > 0 {
+			n := float64(maxFn)
+			d += time.Duration(m.OptCubic * n * n * n * float64(time.Second))
+		}
+		return d
+	}
+	return m.UnoptBase + time.Duration(moduleInstrs)*m.UnoptPerInstr
+}
+
+func maxFnInstrs(cq *codegen.Query) int {
+	max := 0
+	for _, f := range cq.Module.Funcs {
+		if n := f.NumInstrs(); n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// execute interprets queryStart (which triggers the pipelines through the
+// pipeline_run extern) and decodes the result rows.
+func (qr *queryRun) execute() ([][]expr.Datum, error) {
+	args := []uint64{qr.qs.StateAddr, qr.qs.Locals[0], 0, 0}
+	err := rt.CatchTrap(func() {
+		qr.queryStart.Run(qr.coord, args)
+	})
+	qr.coord.ResetRegs()
+	if err == nil {
+		qr.failMu.Lock()
+		err = qr.failed
+		qr.failMu.Unlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return qr.decodeOutput(), nil
+}
+
+func (qr *queryRun) fail(err error) {
+	qr.failMu.Lock()
+	if qr.failed == nil {
+		qr.failed = err
+	}
+	qr.failMu.Unlock()
+}
+
+// decodeOutput reads the final pipeline's output buffers.
+func (qr *queryRun) decodeOutput() [][]expr.Datum {
+	d := qr.cq.Output
+	out := qr.qs.Outs[0]
+	rows := make([][]expr.Datum, 0, out.Rows())
+	out.Each(func(addr rt.Addr) {
+		row := make([]expr.Datum, len(d.Cols))
+		for i, c := range d.Cols {
+			switch c.T.Kind {
+			case expr.KFloat:
+				row[i] = expr.Datum{F: math.Float64frombits(qr.mem.Load64(addr + rt.Addr(c.Off)))}
+			case expr.KString:
+				sa := qr.mem.Load64(addr + rt.Addr(c.Off))
+				sl := qr.mem.Load64(addr + rt.Addr(c.Off) + 8)
+				row[i] = expr.Datum{S: string(qr.mem.Bytes(sa, int(sl)))}
+			default:
+				row[i] = expr.Datum{I: int64(qr.mem.Load64(addr + rt.Addr(c.Off)))}
+			}
+		}
+		rows = append(rows, row)
+	})
+	return rows
+}
+
+// progress tracks one pipeline run: the work-claiming cursor with
+// dynamically growing morsels, per-worker processing rates, and the
+// single-evaluator gate of the controller (§III-C).
+type progress struct {
+	total   int64
+	cursor  atomic.Int64
+	done    atomic.Int64
+	claims  atomic.Int64
+	base    int64
+	started time.Time
+
+	rates    []atomic.Uint64 // per worker: float64 bits, tuples/sec
+	evalGate atomic.Bool
+}
+
+func newProgress(total int64, workers int, base int64) *progress {
+	return &progress{
+		total: total, base: base, started: time.Now(),
+		rates: make([]atomic.Uint64, workers),
+	}
+}
+
+// claim returns the next morsel. Morsels grow geometrically (×2 every 8
+// claims, capped at 64k tuples): small morsels early give the controller
+// dense rate samples; large morsels later amortize dispatch (§III-A).
+func (pr *progress) claim() (int64, int64, bool) {
+	n := pr.claims.Add(1) - 1
+	size := pr.base << uint(minI64(n/8, 5))
+	if size > 65536 {
+		size = 65536
+	}
+	begin := pr.cursor.Add(size) - size
+	if begin >= pr.total {
+		return 0, 0, false
+	}
+	end := begin + size
+	if end > pr.total {
+		end = pr.total
+	}
+	return begin, end, true
+}
+
+// abort drains all remaining morsels (on failure).
+func (pr *progress) abort() { pr.cursor.Store(pr.total) }
+
+// report records a finished morsel and the worker's local rate.
+func (pr *progress) report(w int, tuples int64, d time.Duration) {
+	pr.done.Add(tuples)
+	if d > 0 {
+		rate := float64(tuples) / d.Seconds()
+		pr.rates[w].Store(math.Float64bits(rate))
+	}
+}
+
+// avgRate averages the workers' most recent rates (Fig. 7's r0).
+func (pr *progress) avgRate() float64 {
+	sum, n := 0.0, 0
+	for i := range pr.rates {
+		if bits := pr.rates[i].Load(); bits != 0 {
+			sum += math.Float64frombits(bits)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// resetRates clears the samples after a mode switch so the next
+// extrapolation measures the new tier (§III-C).
+func (pr *progress) resetRates() {
+	for i := range pr.rates {
+		pr.rates[i].Store(0)
+	}
+}
+
+func minI64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// runPipeline executes one pipeline across all workers and finalizes its
+// sink. It runs on the coordinator goroutine, called from the interpreted
+// queryStart through the pipeline_run extern.
+func (qr *queryRun) runPipeline(id int) {
+	pl := qr.cq.Pipelines[id]
+	h := qr.handles[id]
+	total := qr.sourceTotal(pl)
+	if total > 0 {
+		pr := newProgress(total, qr.eng.opts.Workers, qr.eng.opts.MorselSize)
+		var wg sync.WaitGroup
+		for w := 0; w < qr.eng.opts.Workers; w++ {
+			wg.Add(1)
+			go qr.worker(w, pl, h, pr, &wg)
+		}
+		wg.Wait()
+	}
+	qr.failMu.Lock()
+	failed := qr.failed
+	qr.failMu.Unlock()
+	if failed != nil {
+		// Unwind the interpreted queryStart; execute() reports qr.failed.
+		if t, ok := failed.(*rt.Trap); ok {
+			panic(t)
+		}
+		panic(&rt.Trap{Code: rt.TrapUser})
+	}
+	// Finalize the sink between pipelines (single-threaded, like HyPer's
+	// pipeline breaker barriers).
+	if pl.SinkJoin >= 0 {
+		qr.qs.Joins[pl.SinkJoin].Finalize(qr.qs.StateAddr)
+	}
+	if pl.SinkAgg >= 0 {
+		set := qr.qs.Aggs[pl.SinkAgg]
+		set.Finalize()
+		d := qr.cq.Aggs[pl.SinkAgg]
+		qr.mem.Store64(qr.qs.StateAddr+rt.Addr(d.IndexStateOff), set.IndexAddr)
+	}
+}
+
+// sourceTotal returns the number of source tuples of a pipeline — always
+// known when the pipeline starts (§III-A).
+func (qr *queryRun) sourceTotal(pl *codegen.Pipeline) int64 {
+	if pl.Table != nil {
+		return int64(pl.Table.Rows())
+	}
+	return int64(qr.qs.Aggs[pl.AggSource].Groups)
+}
+
+// worker is the morsel loop of one worker thread: claim, dispatch through
+// the handle, record progress, and — in adaptive mode — run the controller
+// after each morsel (Fig. 5's dispatch code).
+func (qr *queryRun) worker(w int, pl *codegen.Pipeline, h *Handle, pr *progress, wg *sync.WaitGroup) {
+	defer wg.Done()
+	ctx := qr.ctxs[w]
+	args := []uint64{qr.qs.StateAddr, qr.qs.Locals[w], 0, 0}
+	err := rt.CatchTrap(func() {
+		for {
+			begin, end, ok := pr.claim()
+			if !ok {
+				return
+			}
+			lvl := h.Level()
+			t0 := time.Now()
+			args[2], args[3] = uint64(begin), uint64(end)
+			h.Dispatch(ctx, args)
+			d := time.Since(t0)
+			pr.report(w, end-begin, d)
+			if qr.trace != nil {
+				qr.trace.Add(Event{Kind: EvMorsel, Pipeline: pl.ID, Label: pl.Label,
+					Worker: w, Level: lvl, Start: qr.trace.Since(t0),
+					End: qr.trace.Since(t0) + d, Tuples: end - begin})
+			}
+			if qr.eng.opts.Mode == ModeAdaptive {
+				qr.evaluate(pl, h, pr)
+			}
+		}
+	})
+	if err != nil {
+		ctx.ResetRegs()
+		qr.fail(err)
+		pr.abort()
+	}
+}
+
+// evaluate implements Fig. 7: extrapolate the remaining pipeline duration
+// under each execution mode and launch a background compilation when a
+// faster mode wins. Only one worker evaluates at a time, the first
+// evaluation is delayed by 1 ms, and an in-flight compilation suppresses
+// further evaluation.
+func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
+	if !pr.evalGate.CompareAndSwap(false, true) {
+		return
+	}
+	defer pr.evalGate.Store(false)
+	if h.Compiling() || h.Level() == LevelOptimized {
+		return
+	}
+	if time.Since(pr.started) < time.Millisecond {
+		return
+	}
+	r0 := pr.avgRate()
+	if r0 <= 0 {
+		return
+	}
+	m := qr.eng.opts.Cost
+	n := float64(pr.total - pr.done.Load())
+	w := float64(qr.eng.opts.Workers)
+	cur := h.Level()
+	curSpeed := m.Speedup(cur)
+
+	// t0: stay in the current mode.
+	t0 := n / r0 / w
+	best := cur
+	bestT := t0
+
+	consider := func(l Level, compile time.Duration) {
+		if l <= cur {
+			return
+		}
+		c := compile.Seconds()
+		r := r0 / curSpeed * m.Speedup(l)
+		// While one thread compiles, the remaining w-1 continue at r0.
+		rem := n - (w-1)*r0*c
+		if rem < 0 {
+			rem = 0
+		}
+		t := c + rem/r/w
+		if t < bestT {
+			bestT = t
+			best = l
+		}
+	}
+	consider(LevelUnoptimized, m.UnoptTime(h.Instrs))
+	consider(LevelOptimized, m.OptTime(h.Instrs))
+
+	if best == cur {
+		return
+	}
+	if !h.BeginCompile() {
+		return
+	}
+	qr.stats.Compilations++
+	go qr.compileTask(pl, h, pr, best)
+}
+
+// compileTask runs on a background goroutine: it (optionally) sleeps the
+// modeled LLVM-scale latency, really compiles the function, installs the
+// variant and resets the rate samples.
+func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l Level) {
+	t0 := time.Now()
+	m := qr.eng.opts.Cost
+	if m.Simulate {
+		var d time.Duration
+		if l == LevelOptimized {
+			d = m.OptTime(h.Instrs)
+		} else {
+			d = m.UnoptTime(h.Instrs)
+		}
+		time.Sleep(d)
+	}
+	level := jit.Unoptimized
+	if l == LevelOptimized {
+		level = jit.Optimized
+	}
+	c, err := jit.Compile(h.Fn, level, h.Prog)
+	if err != nil {
+		h.AbortCompile()
+		qr.fail(fmt.Errorf("exec: background compile of %s: %w", h.Fn.Name, err))
+		pr.abort()
+		return
+	}
+	h.Install(c, l)
+	pr.resetRates()
+	if qr.trace != nil {
+		now := time.Now()
+		qr.trace.Add(Event{Kind: EvCompile, Pipeline: pl.ID, Label: pl.Label,
+			Worker: -1, Level: l, Start: qr.trace.Since(t0), End: qr.trace.Since(now)})
+	}
+}

@@ -1,0 +1,304 @@
+package expr
+
+import (
+	"fmt"
+
+	"aqe/internal/ir"
+)
+
+// Val is the IR-level value of an expression: X holds the scalar (i64 for
+// int/decimal/date/bool/char, f64 for floats, the byte address for
+// strings) and Len the string length.
+type Val struct {
+	X   *ir.Value
+	Len *ir.Value
+}
+
+// CG compiles expressions into IR within a worker function. The plan code
+// generator supplies the column resolver (which loads the column value of
+// the current tuple), the LIKE pattern interner and the string literal
+// interner; CG owns the shared overflow-trap block of the function.
+type CG struct {
+	B *ir.Builder
+	// Col returns the value of input column idx for the current tuple.
+	Col func(idx int) Val
+	// Pattern interns a LIKE pattern in the query state, returning its id.
+	Pattern func(pattern string) int
+	// StrLit interns a string literal in the literal segment, returning
+	// its (address, length).
+	StrLit func(s string) (int64, int64)
+}
+
+// Trap returns a fresh overflow-trap block: it calls the trap extern,
+// which unwinds, terminated by an unreachable void return to satisfy the
+// verifier. Each overflow check gets its own block on purpose: a single
+// shared trap block would have thousands of predecessors in machine-
+// generated queries, which degrades the iterative dominator construction
+// to quadratic time and would break the linear-time translation guarantee
+// (§IV-C/§V-E).
+func (cg *CG) Trap() *ir.Block {
+	save := cg.B.B
+	tb := cg.B.NewBlock()
+	cg.B.SetBlock(tb)
+	cg.B.Call("trap_overflow", ir.Void)
+	cg.B.RetVoid()
+	cg.B.SetBlock(save)
+	return tb
+}
+
+// Checked emits the overflow-checked LLVM pattern the paper's §IV-F fusion
+// targets: ovf-op, extractvalue 0/1, conditional branch to the trap block.
+// The builder continues in the no-overflow continuation.
+func (cg *CG) Checked(op ir.Op, l, r *ir.Value) *ir.Value {
+	b := cg.B
+	var pair *ir.Value
+	switch op {
+	case ir.OpSAddOvf:
+		pair = b.SAddOvf(l, r)
+	case ir.OpSSubOvf:
+		pair = b.SSubOvf(l, r)
+	case ir.OpSMulOvf:
+		pair = b.SMulOvf(l, r)
+	default:
+		panic("expr: bad checked op")
+	}
+	v := b.ExtractValue(pair, 0)
+	f := b.ExtractValue(pair, 1)
+	cont := b.NewBlock()
+	b.CondBr(f, cg.Trap(), cont)
+	b.SetBlock(cont)
+	return v
+}
+
+// scaleOf returns the decimal scale of a type (0 for ints).
+func scaleOf(t Type) int {
+	if t.Kind == KDecimal {
+		return t.Scale
+	}
+	return 0
+}
+
+// rescaleIR multiplies v by 10^diff with an overflow check (diff > 0) or
+// divides (diff < 0).
+func (cg *CG) rescaleIR(v *ir.Value, diff int) *ir.Value {
+	if diff == 0 {
+		return v
+	}
+	if diff > 0 {
+		return cg.Checked(ir.OpSMulOvf, v, cg.B.ConstI64(pow10(diff)))
+	}
+	return cg.B.SDiv(v, cg.B.ConstI64(pow10(-diff)))
+}
+
+// toFloatIR converts a numeric value to f64.
+func (cg *CG) toFloatIR(v Val, t Type) *ir.Value {
+	if t.Kind == KFloat {
+		return v.X
+	}
+	f := cg.B.SIToFP(v.X)
+	if s := scaleOf(t); s > 0 {
+		f = cg.B.FDiv(f, cg.B.ConstF64(float64(pow10(s))))
+	}
+	return f
+}
+
+// asI1 converts a boolean value (i1 or widened) to i1.
+func (cg *CG) asI1(v *ir.Value) *ir.Value {
+	if v.Type == ir.I1 {
+		return v
+	}
+	return cg.B.ICmp(ir.Ne, v, cg.B.ConstI64(0))
+}
+
+// Gen compiles e and returns its value.
+func (cg *CG) Gen(e Expr) Val {
+	b := cg.B
+	switch x := e.(type) {
+	case *ColRef:
+		return cg.Col(x.Idx)
+	case *Const:
+		switch x.T.Kind {
+		case KFloat:
+			return Val{X: b.ConstF64(x.F)}
+		case KString:
+			addr, n := cg.StrLit(x.S)
+			return Val{X: b.ConstI64(addr), Len: b.ConstI64(n)}
+		case KBool:
+			return Val{X: b.F.Const(ir.I1, uint64(x.I))}
+		default:
+			return Val{X: b.ConstI64(x.I)}
+		}
+	case *Arith:
+		return cg.genArith(x)
+	case *Cmp:
+		return Val{X: cg.genCmp(x)}
+	case *Logic:
+		res := cg.asI1(cg.Gen(x.Args[0]).X)
+		for _, a := range x.Args[1:] {
+			v := cg.asI1(cg.Gen(a).X)
+			if x.IsAnd {
+				res = b.And(res, v)
+			} else {
+				res = b.Or(res, v)
+			}
+		}
+		return Val{X: res}
+	case *NotExpr:
+		return Val{X: b.Xor(cg.asI1(cg.Gen(x.Arg).X), b.F.Const(ir.I1, 1))}
+	case *LikeExpr:
+		arg := cg.Gen(x.Arg)
+		pid := cg.Pattern(x.Pattern)
+		r := b.Call("str_like", ir.I64, b.ConstI64(int64(pid)), arg.X, arg.Len)
+		c := b.ICmp(ir.Ne, r, b.ConstI64(0))
+		if x.Negate {
+			c = b.Xor(c, b.F.Const(ir.I1, 1))
+		}
+		return Val{X: c}
+	case *InList:
+		arg := cg.Gen(x.Arg)
+		isStr := x.Arg.Type().Kind == KString
+		var res *ir.Value
+		for _, c := range x.List {
+			var hit *ir.Value
+			if isStr {
+				addr, n := cg.StrLit(c.S)
+				r := b.Call("str_eq", ir.I64, arg.X, arg.Len, b.ConstI64(addr), b.ConstI64(n))
+				hit = b.ICmp(ir.Ne, r, b.ConstI64(0))
+			} else {
+				hit = b.ICmp(ir.Eq, arg.X, b.ConstI64(c.I))
+			}
+			if res == nil {
+				res = hit
+			} else {
+				res = b.Or(res, hit)
+			}
+		}
+		return Val{X: res}
+	case *CaseExpr:
+		return cg.genCase(x)
+	case *YearExpr:
+		arg := cg.Gen(x.Arg)
+		return Val{X: b.Call("date_year", ir.I64, arg.X)}
+	case *SubstrExpr:
+		arg := cg.Gen(x.Arg)
+		addr := b.Add(arg.X, b.ConstI64(int64(x.From-1)))
+		return Val{X: addr, Len: b.ConstI64(int64(x.Len))}
+	case *CastExpr:
+		arg := cg.Gen(x.Arg)
+		from := x.Arg.Type()
+		switch x.T.Kind {
+		case KFloat:
+			return Val{X: cg.toFloatIR(arg, from)}
+		case KDecimal:
+			return Val{X: cg.rescaleIR(arg.X, x.T.Scale-scaleOf(from))}
+		}
+		panic("expr: unsupported cast to " + x.T.String())
+	}
+	panic(fmt.Sprintf("expr: cannot compile %T", e))
+}
+
+func (cg *CG) genArith(x *Arith) Val {
+	b := cg.B
+	l, r := cg.Gen(x.L), cg.Gen(x.R)
+	lt, rtt := x.L.Type(), x.R.Type()
+	if x.T.Kind == KFloat {
+		lf, rf := cg.toFloatIR(l, lt), cg.toFloatIR(r, rtt)
+		switch x.Op {
+		case OpAdd:
+			return Val{X: b.FAdd(lf, rf)}
+		case OpSub:
+			return Val{X: b.FSub(lf, rf)}
+		case OpMul:
+			return Val{X: b.FMul(lf, rf)}
+		default:
+			return Val{X: b.FDiv(lf, rf)}
+		}
+	}
+	switch x.Op {
+	case OpAdd, OpSub:
+		ls, rs := scaleOf(lt), scaleOf(rtt)
+		s := max(ls, rs)
+		lv := cg.rescaleIR(l.X, s-ls)
+		rv := cg.rescaleIR(r.X, s-rs)
+		op := ir.OpSAddOvf
+		if x.Op == OpSub {
+			op = ir.OpSSubOvf
+		}
+		return Val{X: cg.Checked(op, lv, rv)}
+	case OpMul:
+		return Val{X: cg.Checked(ir.OpSMulOvf, l.X, r.X)}
+	default: // OpDiv on integers/decimals: the VM traps on zero natively.
+		return Val{X: b.SDiv(l.X, r.X)}
+	}
+}
+
+func (cg *CG) genCmp(x *Cmp) *ir.Value {
+	b := cg.B
+	l, r := cg.Gen(x.L), cg.Gen(x.R)
+	lt, rtt := x.L.Type(), x.R.Type()
+	if lt.Kind == KString {
+		res := b.Call("str_eq", ir.I64, l.X, l.Len, r.X, r.Len)
+		c := b.ICmp(ir.Ne, res, b.ConstI64(0))
+		if x.Op == CmpNe {
+			c = b.Xor(c, b.F.Const(ir.I1, 1))
+		}
+		return c
+	}
+	var preds = map[CmpOp]ir.Pred{
+		CmpEq: ir.Eq, CmpNe: ir.Ne, CmpLt: ir.SLt, CmpLe: ir.SLe,
+		CmpGt: ir.SGt, CmpGe: ir.SGe,
+	}
+	if lt.Kind == KFloat || rtt.Kind == KFloat {
+		return b.FCmp(preds[x.Op], cg.toFloatIR(l, lt), cg.toFloatIR(r, rtt))
+	}
+	ls, rs := scaleOf(lt), scaleOf(rtt)
+	s := max(ls, rs)
+	return b.ICmp(preds[x.Op], cg.rescaleIR(l.X, s-ls), cg.rescaleIR(r.X, s-rs))
+}
+
+// genCase lowers CASE into a block chain with a φ at the join.
+func (cg *CG) genCase(x *CaseExpr) Val {
+	if x.T.Kind == KString {
+		panic("expr: string-valued CASE not supported")
+	}
+	b := cg.B
+	join := b.NewBlock()
+	irType := ir.I64
+	if x.T.Kind == KFloat {
+		irType = ir.F64
+	} else if x.T.Kind == KBool {
+		irType = ir.I1
+	}
+	type incoming struct {
+		v   *ir.Value
+		blk *ir.Block
+	}
+	var ins []incoming
+	for _, w := range x.Whens {
+		cond := cg.asI1(cg.Gen(w.Cond).X)
+		thenB := b.NewBlock()
+		nextB := b.NewBlock()
+		b.CondBr(cond, thenB, nextB)
+		b.SetBlock(thenB)
+		tv := cg.Gen(w.Then).X
+		ins = append(ins, incoming{tv, b.B}) // Gen may have moved blocks
+		b.Br(join)
+		b.SetBlock(nextB)
+	}
+	ev := cg.Gen(x.Else).X
+	ins = append(ins, incoming{ev, b.B})
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(irType)
+	for _, in := range ins {
+		ir.AddIncoming(phi, in.v, in.blk)
+	}
+	return Val{X: phi}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

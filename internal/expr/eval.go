@@ -1,0 +1,278 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"aqe/internal/rt"
+)
+
+// Datum is an interpreted scalar value: I carries int/decimal/date/bool/
+// char values, F floats, S strings. The interpreted evaluator is used by
+// the Volcano-style and column-at-a-time baseline engines.
+type Datum struct {
+	I int64
+	F float64
+	S string
+}
+
+// Bool returns the boolean view of a datum.
+func (d Datum) Bool() bool { return d.I != 0 }
+
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+func checkedAdd(x, y int64) int64 {
+	r := x + y
+	if (x^r)&(y^r) < 0 {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+func checkedSub(x, y int64) int64 {
+	r := x - y
+	if (x^y)&(x^r) < 0 {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+func checkedMul(x, y int64) int64 {
+	r := x * y
+	if x != 0 && ((x == -1 && y == math.MinInt64) || r/x != y) {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+// toF converts a numeric datum to float.
+func toF(d Datum, t Type) float64 {
+	switch t.Kind {
+	case KFloat:
+		return d.F
+	case KDecimal:
+		return float64(d.I) / float64(pow10(t.Scale))
+	default:
+		return float64(d.I)
+	}
+}
+
+// Eval evaluates e against a row. It traps (panics with *rt.Trap) on
+// overflow and division by zero, matching generated-code semantics.
+func Eval(e Expr, row []Datum) Datum {
+	switch x := e.(type) {
+	case *ColRef:
+		return row[x.Idx]
+	case *Const:
+		return Datum{I: x.I, F: x.F, S: x.S}
+	case *Arith:
+		return evalArith(x, row)
+	case *Cmp:
+		return evalCmp(x, row)
+	case *Logic:
+		if x.IsAnd {
+			for _, a := range x.Args {
+				if !Eval(a, row).Bool() {
+					return Datum{I: 0}
+				}
+			}
+			return Datum{I: 1}
+		}
+		for _, a := range x.Args {
+			if Eval(a, row).Bool() {
+				return Datum{I: 1}
+			}
+		}
+		return Datum{I: 0}
+	case *NotExpr:
+		if Eval(x.Arg, row).Bool() {
+			return Datum{I: 0}
+		}
+		return Datum{I: 1}
+	case *LikeExpr:
+		m := x.Compiled.Match([]byte(Eval(x.Arg, row).S))
+		if x.Negate {
+			m = !m
+		}
+		if m {
+			return Datum{I: 1}
+		}
+		return Datum{I: 0}
+	case *InList:
+		arg := Eval(x.Arg, row)
+		isStr := x.Arg.Type().Kind == KString
+		for _, c := range x.List {
+			if isStr {
+				if arg.S == c.S {
+					return Datum{I: 1}
+				}
+			} else if arg.I == c.I {
+				return Datum{I: 1}
+			}
+		}
+		return Datum{I: 0}
+	case *CaseExpr:
+		for _, w := range x.Whens {
+			if Eval(w.Cond, row).Bool() {
+				return Eval(w.Then, row)
+			}
+		}
+		return Eval(x.Else, row)
+	case *YearExpr:
+		return Datum{I: rt.YearOfDays(Eval(x.Arg, row).I)}
+	case *SubstrExpr:
+		s := Eval(x.Arg, row).S
+		from := x.From - 1
+		end := from + x.Len
+		if from > len(s) {
+			from = len(s)
+		}
+		if end > len(s) {
+			end = len(s)
+		}
+		return Datum{S: s[from:end]}
+	case *CastExpr:
+		return evalCast(x, row)
+	}
+	panic(fmt.Sprintf("expr: cannot evaluate %T", e))
+}
+
+func evalCast(x *CastExpr, row []Datum) Datum {
+	d := Eval(x.Arg, row)
+	from := x.Arg.Type()
+	switch x.T.Kind {
+	case KFloat:
+		return Datum{F: toF(d, from)}
+	case KDecimal:
+		fromScale := 0
+		if from.Kind == KDecimal {
+			fromScale = from.Scale
+		}
+		diff := x.T.Scale - fromScale
+		switch {
+		case diff > 0:
+			return Datum{I: checkedMul(d.I, pow10(diff))}
+		case diff < 0:
+			return Datum{I: d.I / pow10(-diff)}
+		default:
+			return d
+		}
+	}
+	panic("expr: unsupported cast to " + x.T.String())
+}
+
+// unifyScales returns both operands rescaled to a common decimal scale.
+func unifyScales(l, r Datum, lt, rtt Type) (int64, int64) {
+	ls, rs := 0, 0
+	if lt.Kind == KDecimal {
+		ls = lt.Scale
+	}
+	if rtt.Kind == KDecimal {
+		rs = rtt.Scale
+	}
+	if ls == rs {
+		return l.I, r.I
+	}
+	if ls < rs {
+		return checkedMul(l.I, pow10(rs-ls)), r.I
+	}
+	return l.I, checkedMul(r.I, pow10(ls-rs))
+}
+
+func evalArith(x *Arith, row []Datum) Datum {
+	l, r := Eval(x.L, row), Eval(x.R, row)
+	lt, rtt := x.L.Type(), x.R.Type()
+	if x.T.Kind == KFloat {
+		lf, rf := toF(l, lt), toF(r, rtt)
+		switch x.Op {
+		case OpAdd:
+			return Datum{F: lf + rf}
+		case OpSub:
+			return Datum{F: lf - rf}
+		case OpMul:
+			return Datum{F: lf * rf}
+		default:
+			return Datum{F: lf / rf}
+		}
+	}
+	switch x.Op {
+	case OpAdd:
+		li, ri := unifyScales(l, r, lt, rtt)
+		return Datum{I: checkedAdd(li, ri)}
+	case OpSub:
+		li, ri := unifyScales(l, r, lt, rtt)
+		return Datum{I: checkedSub(li, ri)}
+	case OpMul:
+		return Datum{I: checkedMul(l.I, r.I)}
+	default: // OpDiv: int/int or decimal/int
+		if r.I == 0 {
+			rt.Throw(rt.TrapDivZero)
+		}
+		if l.I == math.MinInt64 && r.I == -1 {
+			rt.Throw(rt.TrapOverflow)
+		}
+		return Datum{I: l.I / r.I}
+	}
+}
+
+func evalCmp(x *Cmp, row []Datum) Datum {
+	l, r := Eval(x.L, row), Eval(x.R, row)
+	lt, rtt := x.L.Type(), x.R.Type()
+	var cmp int
+	switch {
+	case lt.Kind == KString:
+		switch {
+		case l.S == r.S:
+			cmp = 0
+		case l.S < r.S:
+			cmp = -1
+		default:
+			cmp = 1
+		}
+	case lt.Kind == KFloat || rtt.Kind == KFloat:
+		lf, rf := toF(l, lt), toF(r, rtt)
+		switch {
+		case lf == rf:
+			cmp = 0
+		case lf < rf:
+			cmp = -1
+		default:
+			cmp = 1
+		}
+	default:
+		li, ri := unifyScales(l, r, lt, rtt)
+		switch {
+		case li == ri:
+			cmp = 0
+		case li < ri:
+			cmp = -1
+		default:
+			cmp = 1
+		}
+	}
+	var res bool
+	switch x.Op {
+	case CmpEq:
+		res = cmp == 0
+	case CmpNe:
+		res = cmp != 0
+	case CmpLt:
+		res = cmp < 0
+	case CmpLe:
+		res = cmp <= 0
+	case CmpGt:
+		res = cmp > 0
+	default:
+		res = cmp >= 0
+	}
+	if res {
+		return Datum{I: 1}
+	}
+	return Datum{I: 0}
+}

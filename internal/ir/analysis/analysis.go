@@ -1,0 +1,506 @@
+// Package analysis implements the control-flow analyses behind the paper's
+// linear-time bytecode translation (§IV-C/D): reverse-postorder labeling,
+// dominator trees with O(1) ancestor queries via pre/post-order numbering,
+// back-edge loop detection with natural-loop membership, a loop-contiguous
+// block layout, and the loop-aware liveness algorithm of Fig. 11.
+package analysis
+
+import (
+	"sort"
+
+	"aqe/internal/ir"
+)
+
+// CFG bundles the per-function control-flow facts shared by the analyses.
+type CFG struct {
+	F *ir.Function
+	// RPO is the list of reachable blocks in reverse postorder. RPONum
+	// maps block ID -> position in RPO (-1 for unreachable blocks).
+	RPO    []*ir.Block
+	RPONum []int
+	Preds  [][]*ir.Block
+}
+
+// NewCFG computes the reverse postorder and predecessor lists of f.
+func NewCFG(f *ir.Function) *CFG {
+	c := &CFG{F: f, RPO: f.ReversePostorder(), Preds: f.Preds()}
+	c.RPONum = make([]int, len(f.Blocks))
+	for i := range c.RPONum {
+		c.RPONum[i] = -1 // unreachable
+	}
+	for i, b := range c.RPO {
+		c.RPONum[b.ID] = i
+	}
+	return c
+}
+
+// DomTree is a dominator tree annotated with pre/post-order numbers so that
+// ancestor queries are O(1) interval containment checks (§IV-D, Fig. 12).
+type DomTree struct {
+	cfg  *CFG
+	Idom []*ir.Block // by block ID; nil for entry and unreachable blocks
+	pre  []int       // by block ID
+	post []int
+}
+
+// NewDomTree computes the dominator tree using the Cooper-Harvey-Kennedy
+// iterative algorithm over the reverse postorder. On the reducible CFGs a
+// query compiler emits this converges in two passes, giving effectively
+// linear runtime, which is what the translation budget requires.
+func NewDomTree(cfg *CFG) *DomTree {
+	f := cfg.F
+	n := len(f.Blocks)
+	d := &DomTree{cfg: cfg, Idom: make([]*ir.Block, n), pre: make([]int, n), post: make([]int, n)}
+	entry := f.Entry()
+	d.Idom[entry.ID] = entry
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for cfg.RPONum[a.ID] > cfg.RPONum[b.ID] {
+				a = d.Idom[a.ID]
+			}
+			for cfg.RPONum[b.ID] > cfg.RPONum[a.ID] {
+				b = d.Idom[b.ID]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.RPO {
+			if b == entry {
+				continue
+			}
+			var ni *ir.Block
+			for _, p := range cfg.Preds[b.ID] {
+				if d.Idom[p.ID] == nil {
+					continue
+				}
+				if ni == nil {
+					ni = p
+				} else {
+					ni = intersect(p, ni)
+				}
+			}
+			if ni != nil && d.Idom[b.ID] != ni {
+				d.Idom[b.ID] = ni
+				changed = true
+			}
+		}
+	}
+	d.Idom[entry.ID] = nil
+	d.number()
+	return d
+}
+
+// number assigns pre/post-order numbers by a DFS over the dominator tree.
+func (d *DomTree) number() {
+	f := d.cfg.F
+	children := make([][]*ir.Block, len(f.Blocks))
+	// Iterate in RPO so child lists are deterministic.
+	for _, b := range d.cfg.RPO {
+		if p := d.Idom[b.ID]; p != nil {
+			children[p.ID] = append(children[p.ID], b)
+		}
+	}
+	clock := 0
+	type frame struct {
+		b *ir.Block
+		i int
+	}
+	stack := []frame{{f.Entry(), 0}}
+	clock++
+	d.pre[f.Entry().ID] = clock
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.i < len(children[fr.b.ID]) {
+			c := children[fr.b.ID][fr.i]
+			fr.i++
+			clock++
+			d.pre[c.ID] = clock
+			stack = append(stack, frame{c, 0})
+			continue
+		}
+		clock++
+		d.post[fr.b.ID] = clock
+		stack = stack[:len(stack)-1]
+	}
+}
+
+// Dominates reports whether a dominates b (reflexively) in O(1) using the
+// pre/post-order interval containment test.
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	return d.pre[a.ID] <= d.pre[b.ID] && d.post[b.ID] <= d.post[a.ID]
+}
+
+// Loop describes one natural loop. After layout, the loop's blocks occupy
+// the contiguous position interval [First, Last]. The entry block heads a
+// pseudo-loop spanning the whole function (the paper: "we pretend that the
+// whole function body is part of one large loop").
+type Loop struct {
+	Head   *ir.Block
+	First  int // layout position of Head
+	Last   int // layout position of the loop's last block
+	Parent *Loop
+	Depth  int // nesting depth; the pseudo-loop has depth 0
+
+	members []*ir.Block // including blocks of nested loops
+}
+
+// Contains reports whether layout position n falls inside the loop.
+func (l *Loop) Contains(n int) bool { return l.First <= n && n <= l.Last }
+
+// NumBlocks returns the loop's block count (including nested loops).
+func (l *Loop) NumBlocks() int { return len(l.members) }
+
+// LoopInfo is the result of loop detection: the loop forest rooted at the
+// pseudo-loop, the innermost enclosing loop of every block, and a block
+// layout in which every loop is contiguous.
+type LoopInfo struct {
+	Root  *Loop
+	Loops []*Loop // ordered by First; Loops[0] == Root
+
+	// Order is the loop-contiguous block layout used for live ranges and
+	// code emission; Pos maps block ID -> position (-1 if unreachable).
+	Order []*ir.Block
+	Pos   []int
+
+	// Innermost[i] is the innermost loop of the block at position i.
+	Innermost []*Loop
+
+	// Irreducible is set when the CFG has a retreat edge to a block that
+	// does not dominate its source. Liveness falls back to whole-function
+	// ranges in that case; the query code generator never produces such
+	// CFGs, but the translator must stay correct on arbitrary input.
+	Irreducible bool
+}
+
+// InnermostOf returns the innermost loop containing block b.
+func (li *LoopInfo) InnermostOf(b *ir.Block) *Loop { return li.Innermost[li.Pos[b.ID]] }
+
+// FindLoops detects natural loops via back edges (an edge B -> B' where B'
+// dominates B) and computes a block layout where every loop is contiguous:
+// blocks are ordered lexicographically by their chain of enclosing loop
+// heads (in reverse postorder), then by their own reverse-postorder number.
+// Contiguity is what makes a live range representable as a single interval
+// without the unsoundness of raw-RPO intervals, where a loop's exit block
+// can be numbered inside the loop and an escaping value's range would not
+// cover the loop head.
+func FindLoops(cfg *CFG, dom *DomTree) *LoopInfo {
+	f := cfg.F
+	li := &LoopInfo{}
+	n := len(cfg.RPO)
+
+	// The pseudo-loop: every reachable block belongs to it.
+	root := &Loop{Head: f.Entry(), members: cfg.RPO}
+	li.Root = root
+	li.Loops = []*Loop{root}
+
+	// Collect back edges per head, heads in RPO order (outer heads have
+	// smaller RPO numbers than the heads they enclose, because an outer
+	// head dominates inner ones).
+	latches := make(map[*ir.Block][]*ir.Block)
+	var heads []*ir.Block
+	for _, b := range cfg.RPO {
+		for _, s := range b.Succs() {
+			if cfg.RPONum[s.ID] <= cfg.RPONum[b.ID] { // retreat edge
+				if dom.Dominates(s, b) {
+					if latches[s] == nil {
+						heads = append(heads, s)
+					}
+					latches[s] = append(latches[s], b)
+				} else {
+					li.Irreducible = true
+				}
+			}
+		}
+	}
+	sort.Slice(heads, func(i, j int) bool {
+		return cfg.RPONum[heads[i].ID] < cfg.RPONum[heads[j].ID]
+	})
+
+	// Natural loop membership: walk backwards from each latch to the head.
+	// innerOf[b] tracks the innermost loop seen so far; processing heads
+	// outer-to-inner means later assignments are the inner ones.
+	innerOf := make([]*Loop, len(f.Blocks))
+	for _, b := range cfg.RPO {
+		innerOf[b.ID] = root
+	}
+	inLoop := make([]bool, len(f.Blocks)) // scratch, reset per loop
+	for _, h := range heads {
+		l := &Loop{Head: h}
+		l.Parent = innerOf[h.ID]
+		l.Depth = l.Parent.Depth + 1
+		var stack []*ir.Block
+		add := func(b *ir.Block) {
+			if !inLoop[b.ID] {
+				inLoop[b.ID] = true
+				l.members = append(l.members, b)
+				stack = append(stack, b)
+			}
+		}
+		inLoop[h.ID] = true
+		l.members = append(l.members, h)
+		for _, latch := range latches[h] {
+			add(latch)
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range cfg.Preds[b.ID] {
+				if cfg.RPONum[p.ID] >= 0 {
+					add(p)
+				}
+			}
+		}
+		for _, b := range l.members {
+			inLoop[b.ID] = false
+			innerOf[b.ID] = l
+		}
+		li.Loops = append(li.Loops, l)
+	}
+
+	// Layout: lexicographic order over (loop-head chain, own RPO number).
+	chains := make(map[*Loop][]int)
+	chains[root] = []int{cfg.RPONum[f.Entry().ID]}
+	var chainOf func(l *Loop) []int
+	chainOf = func(l *Loop) []int {
+		if c, ok := chains[l]; ok {
+			return c
+		}
+		c := append(append([]int{}, chainOf(l.Parent)...), cfg.RPONum[l.Head.ID])
+		chains[l] = c
+		return c
+	}
+	li.Order = make([]*ir.Block, n)
+	copy(li.Order, cfg.RPO)
+	// The sort key of block b is (chain of enclosing loop heads' RPO
+	// numbers) ++ (b's own RPO number), compared lexicographically.
+	elem := func(chain []int, own, k int) (int, bool) {
+		if k < len(chain) {
+			return chain[k], true
+		}
+		if k == len(chain) {
+			return own, true
+		}
+		return 0, false
+	}
+	sort.SliceStable(li.Order, func(i, j int) bool {
+		a, b := li.Order[i], li.Order[j]
+		ca, cb := chainOf(innerOf[a.ID]), chainOf(innerOf[b.ID])
+		ra, rb := cfg.RPONum[a.ID], cfg.RPONum[b.ID]
+		for k := 0; ; k++ {
+			ea, oka := elem(ca, ra, k)
+			eb, okb := elem(cb, rb, k)
+			if !oka {
+				return okb
+			}
+			if !okb {
+				return false
+			}
+			if ea != eb {
+				return ea < eb
+			}
+		}
+	})
+	li.Pos = make([]int, len(f.Blocks))
+	for i := range li.Pos {
+		li.Pos[i] = -1
+	}
+	for i, b := range li.Order {
+		li.Pos[b.ID] = i
+	}
+
+	// Extents and innermost-per-position.
+	for _, l := range li.Loops {
+		l.First = li.Pos[l.Head.ID]
+		l.Last = l.First
+		for _, b := range l.members {
+			if p := li.Pos[b.ID]; p > l.Last {
+				l.Last = p
+			}
+		}
+	}
+	sort.Slice(li.Loops, func(i, j int) bool { return li.Loops[i].First < li.Loops[j].First })
+	li.Innermost = make([]*Loop, n)
+	for i, b := range li.Order {
+		li.Innermost[i] = innerOf[b.ID]
+	}
+	return li
+}
+
+// Interval is a live range over layout positions, inclusive on both ends.
+// An empty interval has Start > End.
+type Interval struct {
+	Start, End int
+}
+
+// Empty reports whether the interval covers no blocks.
+func (iv Interval) Empty() bool { return iv.Start > iv.End }
+
+func (iv *Interval) extendBlock(n int) {
+	if n < iv.Start {
+		iv.Start = n
+	}
+	if n > iv.End {
+		iv.End = n
+	}
+}
+
+func (iv *Interval) extendLoop(l *Loop) {
+	if l.First < iv.Start {
+		iv.Start = l.First
+	}
+	if l.Last > iv.End {
+		iv.End = l.Last
+	}
+}
+
+// Liveness holds the computed live range of every instruction value,
+// indexed by value ID, over the loop-contiguous block layout.
+type Liveness struct {
+	CFG    *CFG
+	Dom    *DomTree
+	Loops  *LoopInfo
+	Ranges []Interval // by value ID
+}
+
+// Order returns the block layout live ranges refer to.
+func (lv *Liveness) Order() []*ir.Block { return lv.Loops.Order }
+
+// Pos returns the layout position of block b.
+func (lv *Liveness) Pos(b *ir.Block) int { return lv.Loops.Pos[b.ID] }
+
+// ComputeLiveness runs the paper's Fig. 11 algorithm: for every value v,
+// collect the blocks B_v containing its definition and uses (with φ-inputs
+// read — and the φ value written — at the end of the incoming block), find
+// the innermost loop C_v containing all of B_v, and build the live range by
+// extending with each block directly in C_v, or with the extent of the
+// outermost loop below C_v containing blocks nested deeper. Runtime is
+// linear in the size of the function up to the loop-forest depth and the
+// O(n log n) layout sort.
+func ComputeLiveness(f *ir.Function) *Liveness {
+	cfg := NewCFG(f)
+	dom := NewDomTree(cfg)
+	loops := FindLoops(cfg, dom)
+	lv := &Liveness{CFG: cfg, Dom: dom, Loops: loops}
+	lv.Ranges = make([]Interval, f.NumValues())
+	for i := range lv.Ranges {
+		lv.Ranges[i] = Interval{Start: int(^uint(0) >> 1), End: -1}
+	}
+
+	if loops.Irreducible {
+		// Correctness fallback: every value lives for the whole function.
+		last := len(loops.Order) - 1
+		for _, b := range loops.Order {
+			for _, in := range b.Instrs {
+				if in.Type != ir.Void {
+					lv.Ranges[in.ID] = Interval{Start: 0, End: last}
+				}
+			}
+		}
+		return lv
+	}
+
+	// Streaming Fig. 11: maintain per value the innermost common loop C_v
+	// seen so far. When a new occurrence forces C_v to widen, the interval
+	// accumulated so far is retroactively lifted to the extent of the
+	// outermost loop below the new C_v containing the old one.
+	cv := make([]*Loop, f.NumValues())
+
+	occur := func(v *ir.Value, n int) {
+		if n < 0 {
+			return // unreachable block
+		}
+		r := &lv.Ranges[v.ID]
+		inner := loops.Innermost[n]
+		c := cv[v.ID]
+		if c == nil {
+			cv[v.ID] = inner
+			r.extendBlock(n)
+			return
+		}
+		if !c.Contains(n) {
+			newC := c
+			for !newC.Contains(n) {
+				newC = newC.Parent
+			}
+			l := c
+			for l.Parent != newC {
+				l = l.Parent
+			}
+			r.extendLoop(l)
+			cv[v.ID] = newC
+			c = newC
+		}
+		if inner == c {
+			r.extendBlock(n)
+		} else {
+			// Outermost loop below C_v containing n.
+			l := inner
+			for l.Parent != c {
+				l = l.Parent
+			}
+			r.extendLoop(l)
+		}
+	}
+
+	for _, b := range loops.Order {
+		n := loops.Pos[b.ID]
+		for _, in := range b.Instrs {
+			if in.Type != ir.Void {
+				occur(in, n)
+			}
+			if in.Op == ir.OpPhi {
+				// φ-inputs are read at the end of the incoming block, and
+				// the φ value itself is written there (§IV-D): both the
+				// argument and the φ must be live in the incoming block.
+				for i, a := range in.Args {
+					n2 := loops.Pos[in.Incoming[i].ID]
+					if a.IsInstr() {
+						occur(a, n2)
+					}
+					occur(in, n2)
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				if a.IsInstr() {
+					occur(a, n)
+				}
+			}
+		}
+		for _, a := range b.Term.Args {
+			if a.IsInstr() {
+				occur(a, n)
+			}
+		}
+	}
+	return lv
+}
+
+// Range returns the live range of value v (empty for dead values and
+// non-instructions).
+func (lv *Liveness) Range(v *ir.Value) Interval { return lv.Ranges[v.ID] }
+
+// MaxOverlap returns the maximum number of simultaneously live values over
+// all layout positions — a lower bound on the register file size and a
+// useful diagnostic for allocator quality tests.
+func (lv *Liveness) MaxOverlap() int {
+	n := len(lv.Loops.Order)
+	delta := make([]int, n+1)
+	for _, iv := range lv.Ranges {
+		if iv.Empty() {
+			continue
+		}
+		delta[iv.Start]++
+		delta[iv.End+1]--
+	}
+	cur, max := 0, 0
+	for i := 0; i < n; i++ {
+		cur += delta[i]
+		if cur > max {
+			max = cur
+		}
+	}
+	return max
+}

@@ -1,0 +1,225 @@
+package ir
+
+import "math"
+
+// Builder provides a convenient API for emitting instructions into a
+// function, block by block. It performs light type checking; the Verify
+// pass performs the full structural check.
+type Builder struct {
+	F *Function
+	B *Block
+}
+
+// NewBuilder returns a builder positioned at a fresh entry block of f.
+func NewBuilder(f *Function) *Builder {
+	b := &Builder{F: f}
+	if len(f.Blocks) == 0 {
+		b.B = f.NewBlock()
+	} else {
+		b.B = f.Blocks[0]
+	}
+	return b
+}
+
+// SetBlock repositions the builder at blk.
+func (b *Builder) SetBlock(blk *Block) { b.B = blk }
+
+// NewBlock creates a new block without repositioning.
+func (b *Builder) NewBlock() *Block { return b.F.NewBlock() }
+
+func (b *Builder) emit(v *Value) *Value {
+	if b.B.Term != nil {
+		panic("ir: emit into terminated block")
+	}
+	v.Block = b.B
+	b.B.Instrs = append(b.B.Instrs, v)
+	return v
+}
+
+func (b *Builder) emitTerm(v *Value) *Value {
+	if b.B.Term != nil {
+		panic("ir: block already terminated")
+	}
+	v.Block = b.B
+	b.B.Term = v
+	return v
+}
+
+// Terminated reports whether the current block already has a terminator.
+func (b *Builder) Terminated() bool { return b.B.Term != nil }
+
+// ConstI64 returns the i64 constant v.
+func (b *Builder) ConstI64(v int64) *Value { return b.F.Const(I64, uint64(v)) }
+
+// ConstI1 returns the i1 constant.
+func (b *Builder) ConstI1(v bool) *Value {
+	if v {
+		return b.F.Const(I1, 1)
+	}
+	return b.F.Const(I1, 0)
+}
+
+// ConstF64 returns the f64 constant v.
+func (b *Builder) ConstF64(v float64) *Value { return b.F.Const(F64, math.Float64bits(v)) }
+
+func (b *Builder) binop(op Op, t Type, x, y *Value) *Value {
+	return b.emit(b.F.newInstr(op, t, x, y))
+}
+
+// Integer arithmetic. All integer arithmetic in generated query code is
+// i64; narrower values are widened at load time.
+
+func (b *Builder) Add(x, y *Value) *Value  { return b.binop(OpAdd, x.Type, x, y) }
+func (b *Builder) Sub(x, y *Value) *Value  { return b.binop(OpSub, x.Type, x, y) }
+func (b *Builder) Mul(x, y *Value) *Value  { return b.binop(OpMul, x.Type, x, y) }
+func (b *Builder) SDiv(x, y *Value) *Value { return b.binop(OpSDiv, x.Type, x, y) }
+func (b *Builder) SRem(x, y *Value) *Value { return b.binop(OpSRem, x.Type, x, y) }
+func (b *Builder) UDiv(x, y *Value) *Value { return b.binop(OpUDiv, x.Type, x, y) }
+func (b *Builder) URem(x, y *Value) *Value { return b.binop(OpURem, x.Type, x, y) }
+
+// Float arithmetic.
+
+func (b *Builder) FAdd(x, y *Value) *Value { return b.binop(OpFAdd, F64, x, y) }
+func (b *Builder) FSub(x, y *Value) *Value { return b.binop(OpFSub, F64, x, y) }
+func (b *Builder) FMul(x, y *Value) *Value { return b.binop(OpFMul, F64, x, y) }
+func (b *Builder) FDiv(x, y *Value) *Value { return b.binop(OpFDiv, F64, x, y) }
+
+// Bitwise.
+
+func (b *Builder) And(x, y *Value) *Value  { return b.binop(OpAnd, x.Type, x, y) }
+func (b *Builder) Or(x, y *Value) *Value   { return b.binop(OpOr, x.Type, x, y) }
+func (b *Builder) Xor(x, y *Value) *Value  { return b.binop(OpXor, x.Type, x, y) }
+func (b *Builder) Shl(x, y *Value) *Value  { return b.binop(OpShl, x.Type, x, y) }
+func (b *Builder) LShr(x, y *Value) *Value { return b.binop(OpLShr, x.Type, x, y) }
+func (b *Builder) AShr(x, y *Value) *Value { return b.binop(OpAShr, x.Type, x, y) }
+
+// ICmp emits an integer comparison yielding i1.
+func (b *Builder) ICmp(p Pred, x, y *Value) *Value {
+	v := b.F.newInstr(OpICmp, I1, x, y)
+	v.Pred = p
+	return b.emit(v)
+}
+
+// FCmp emits a float comparison yielding i1.
+func (b *Builder) FCmp(p Pred, x, y *Value) *Value {
+	v := b.F.newInstr(OpFCmp, I1, x, y)
+	v.Pred = p
+	return b.emit(v)
+}
+
+// Overflow-checked arithmetic: returns the {i64,i1} pair value.
+
+func (b *Builder) SAddOvf(x, y *Value) *Value { return b.binop(OpSAddOvf, Pair, x, y) }
+func (b *Builder) SSubOvf(x, y *Value) *Value { return b.binop(OpSSubOvf, Pair, x, y) }
+func (b *Builder) SMulOvf(x, y *Value) *Value { return b.binop(OpSMulOvf, Pair, x, y) }
+
+// ExtractValue extracts field idx (0 = i64 result, 1 = i1 overflow flag).
+func (b *Builder) ExtractValue(pair *Value, idx int) *Value {
+	t := I64
+	if idx == 1 {
+		t = I1
+	}
+	v := b.F.newInstr(OpExtractValue, t, pair)
+	v.Lit = uint64(idx)
+	return b.emit(v)
+}
+
+// Conversions.
+
+func (b *Builder) SExt(x *Value, to Type) *Value { return b.emit(b.F.newInstr(OpSExt, to, x)) }
+func (b *Builder) ZExt(x *Value, to Type) *Value { return b.emit(b.F.newInstr(OpZExt, to, x)) }
+func (b *Builder) Trunc(x *Value, to Type) *Value {
+	return b.emit(b.F.newInstr(OpTrunc, to, x))
+}
+func (b *Builder) SIToFP(x *Value) *Value { return b.emit(b.F.newInstr(OpSIToFP, F64, x)) }
+func (b *Builder) FPToSI(x *Value) *Value { return b.emit(b.F.newInstr(OpFPToSI, I64, x)) }
+
+// Load emits a typed load from addr. Sub-word integer loads zero- or
+// sign-extend according to the requested type at execution time; query
+// codegen always widens into i64 registers immediately, so Load yields a
+// value of type t and the interpreter/compiler treat the register as the
+// widened value.
+func (b *Builder) Load(t Type, addr *Value) *Value {
+	return b.emit(b.F.newInstr(OpLoad, t, addr))
+}
+
+// Store emits a store of val (width given by val.Type) to addr.
+func (b *Builder) Store(addr, val *Value) *Value {
+	return b.emit(b.F.newInstr(OpStore, Void, addr, val))
+}
+
+// GEP computes base + idx*scale + disp. Pass idx == nil for a constant
+// offset (compiles to base + disp).
+func (b *Builder) GEP(base, idx *Value, scale, disp int64) *Value {
+	if idx == nil {
+		idx = b.ConstI64(0)
+		scale = 0
+	}
+	v := b.F.newInstr(OpGEP, I64, base, idx)
+	v.Lit = uint64(scale)
+	v.Lit2 = uint64(disp)
+	return b.emit(v)
+}
+
+// Phi emits an empty φ-node of type t; fill it with AddIncoming. φ-nodes
+// must precede all non-φ instructions of their block; the builder enforces
+// this.
+func (b *Builder) Phi(t Type) *Value {
+	for _, in := range b.B.Instrs {
+		if in.Op != OpPhi {
+			panic("ir: phi after non-phi instruction")
+		}
+	}
+	return b.emit(b.F.newInstr(OpPhi, t))
+}
+
+// AddIncoming appends an incoming (value, predecessor) pair to a φ-node.
+func AddIncoming(phi *Value, v *Value, pred *Block) {
+	if phi.Op != OpPhi {
+		panic("ir: AddIncoming on non-phi")
+	}
+	phi.Args = append(phi.Args, v)
+	phi.Incoming = append(phi.Incoming, pred)
+}
+
+// Select emits cond ? x : y.
+func (b *Builder) Select(cond, x, y *Value) *Value {
+	return b.emit(b.F.newInstr(OpSelect, x.Type, cond, x, y))
+}
+
+// Call emits a call to the named extern, declaring it if necessary.
+func (b *Builder) Call(name string, ret Type, args ...*Value) *Value {
+	argTypes := make([]Type, len(args))
+	for i, a := range args {
+		argTypes[i] = a.Type
+	}
+	idx := b.F.Module.DeclareExtern(name, ret, argTypes...)
+	v := b.F.newInstr(OpCall, ret, args...)
+	v.Callee = idx
+	return b.emit(v)
+}
+
+// Br terminates the block with an unconditional branch.
+func (b *Builder) Br(t *Block) *Value {
+	v := b.F.newInstr(OpBr, Void)
+	v.Targets = []*Block{t}
+	return b.emitTerm(v)
+}
+
+// CondBr terminates the block with a conditional branch.
+func (b *Builder) CondBr(cond *Value, then, els *Block) *Value {
+	v := b.F.newInstr(OpCondBr, Void, cond)
+	v.Targets = []*Block{then, els}
+	return b.emitTerm(v)
+}
+
+// Ret terminates the block returning v.
+func (b *Builder) Ret(v *Value) *Value {
+	t := b.F.newInstr(OpRet, Void, v)
+	return b.emitTerm(t)
+}
+
+// RetVoid terminates the block with a void return.
+func (b *Builder) RetVoid() *Value {
+	return b.emitTerm(b.F.newInstr(OpRetVoid, Void))
+}

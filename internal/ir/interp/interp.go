@@ -1,0 +1,303 @@
+// Package interp directly interprets the in-memory SSA graph, standing in
+// for LLVM's built-in IR interpreter (lli) as the slow baseline of the
+// paper's Fig. 2. It shares the design properties the paper blames for
+// that interpreter being ~800x slower than machine code: it walks the
+// pointer-based in-memory representation (cache-unfriendly), performs a
+// runtime dispatch on the generic opcode for every instruction, and
+// resolves every operand through a pointer chase — there is no translation
+// step at all, which also makes its "compile time" effectively zero.
+//
+// It exists for the evaluation; the query engine itself always uses the
+// bytecode VM or the compiled tiers.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"aqe/internal/ir"
+	"aqe/internal/rt"
+	"aqe/internal/vm"
+)
+
+// Run interprets f with the given arguments.
+func Run(f *ir.Function, ctx *rt.Ctx, args []uint64) uint64 {
+	env := make([]uint64, f.NumValues())
+	for i, p := range f.Params {
+		env[p.ID] = args[i]
+	}
+	get := func(v *ir.Value) uint64 {
+		if v.Op == ir.OpConst {
+			return v.Const
+		}
+		return env[v.ID]
+	}
+	getf := func(v *ir.Value) float64 { return math.Float64frombits(get(v)) }
+
+	cur := f.Entry()
+	var prev *ir.Block
+	var phiTmp []uint64
+	for {
+		// φ-nodes read their incoming values in parallel.
+		phis := cur.Phis()
+		if len(phis) > 0 {
+			phiTmp = phiTmp[:0]
+			for _, phi := range phis {
+				for i, in := range phi.Incoming {
+					if in == prev {
+						phiTmp = append(phiTmp, get(phi.Args[i]))
+						break
+					}
+				}
+			}
+			for i, phi := range phis {
+				env[phi.ID] = phiTmp[i]
+			}
+		}
+		for _, in := range cur.Instrs[len(phis):] {
+			switch in.Op {
+			case ir.OpAdd:
+				env[in.ID] = get(in.Args[0]) + get(in.Args[1])
+			case ir.OpSub:
+				env[in.ID] = get(in.Args[0]) - get(in.Args[1])
+			case ir.OpMul:
+				env[in.ID] = get(in.Args[0]) * get(in.Args[1])
+			case ir.OpSDiv:
+				d := int64(get(in.Args[1]))
+				if d == 0 {
+					rt.Throw(rt.TrapDivZero)
+				}
+				n := int64(get(in.Args[0]))
+				if n == math.MinInt64 && d == -1 {
+					rt.Throw(rt.TrapOverflow)
+				}
+				env[in.ID] = uint64(n / d)
+			case ir.OpSRem:
+				d := int64(get(in.Args[1]))
+				if d == 0 {
+					rt.Throw(rt.TrapDivZero)
+				}
+				n := int64(get(in.Args[0]))
+				if n == math.MinInt64 && d == -1 {
+					env[in.ID] = 0
+				} else {
+					env[in.ID] = uint64(n % d)
+				}
+			case ir.OpUDiv:
+				d := get(in.Args[1])
+				if d == 0 {
+					rt.Throw(rt.TrapDivZero)
+				}
+				env[in.ID] = get(in.Args[0]) / d
+			case ir.OpURem:
+				d := get(in.Args[1])
+				if d == 0 {
+					rt.Throw(rt.TrapDivZero)
+				}
+				env[in.ID] = get(in.Args[0]) % d
+			case ir.OpFAdd:
+				env[in.ID] = math.Float64bits(getf(in.Args[0]) + getf(in.Args[1]))
+			case ir.OpFSub:
+				env[in.ID] = math.Float64bits(getf(in.Args[0]) - getf(in.Args[1]))
+			case ir.OpFMul:
+				env[in.ID] = math.Float64bits(getf(in.Args[0]) * getf(in.Args[1]))
+			case ir.OpFDiv:
+				env[in.ID] = math.Float64bits(getf(in.Args[0]) / getf(in.Args[1]))
+			case ir.OpAnd:
+				env[in.ID] = get(in.Args[0]) & get(in.Args[1])
+			case ir.OpOr:
+				env[in.ID] = get(in.Args[0]) | get(in.Args[1])
+			case ir.OpXor:
+				env[in.ID] = get(in.Args[0]) ^ get(in.Args[1])
+			case ir.OpShl:
+				env[in.ID] = get(in.Args[0]) << (get(in.Args[1]) & 63)
+			case ir.OpLShr:
+				env[in.ID] = get(in.Args[0]) >> (get(in.Args[1]) & 63)
+			case ir.OpAShr:
+				env[in.ID] = uint64(int64(get(in.Args[0])) >> (get(in.Args[1]) & 63))
+			case ir.OpICmp:
+				x, y := get(in.Args[0]), get(in.Args[1])
+				var r bool
+				switch in.Pred {
+				case ir.Eq:
+					r = x == y
+				case ir.Ne:
+					r = x != y
+				case ir.SLt:
+					r = int64(x) < int64(y)
+				case ir.SLe:
+					r = int64(x) <= int64(y)
+				case ir.SGt:
+					r = int64(x) > int64(y)
+				case ir.SGe:
+					r = int64(x) >= int64(y)
+				case ir.ULt:
+					r = x < y
+				case ir.ULe:
+					r = x <= y
+				case ir.UGt:
+					r = x > y
+				case ir.UGe:
+					r = x >= y
+				}
+				env[in.ID] = b2u(r)
+			case ir.OpFCmp:
+				x, y := getf(in.Args[0]), getf(in.Args[1])
+				var r bool
+				switch in.Pred {
+				case ir.Eq:
+					r = x == y
+				case ir.Ne:
+					r = x != y
+				case ir.SLt:
+					r = x < y
+				case ir.SLe:
+					r = x <= y
+				case ir.SGt:
+					r = x > y
+				case ir.SGe:
+					r = x >= y
+				}
+				env[in.ID] = b2u(r)
+			case ir.OpSAddOvf:
+				r, _ := vm.AddOverflow(int64(get(in.Args[0])), int64(get(in.Args[1])))
+				env[in.ID] = uint64(r)
+			case ir.OpSSubOvf:
+				r, _ := vm.SubOverflow(int64(get(in.Args[0])), int64(get(in.Args[1])))
+				env[in.ID] = uint64(r)
+			case ir.OpSMulOvf:
+				r, _ := vm.MulOverflow(int64(get(in.Args[0])), int64(get(in.Args[1])))
+				env[in.ID] = uint64(r)
+			case ir.OpExtractValue:
+				if in.Lit == 0 {
+					env[in.ID] = env[in.Args[0].ID]
+				} else {
+					// Recompute the flag from the pair's operands — SSA
+					// values never change, so they are still in env.
+					env[in.ID] = pairFlag(env, in.Args[0])
+				}
+			case ir.OpSExt:
+				v := get(in.Args[0])
+				switch in.Args[0].Type {
+				case ir.I1, ir.I8:
+					env[in.ID] = uint64(int64(int8(v)))
+				case ir.I16:
+					env[in.ID] = uint64(int64(int16(v)))
+				case ir.I32:
+					env[in.ID] = uint64(int64(int32(v)))
+				default:
+					env[in.ID] = v
+				}
+			case ir.OpZExt:
+				env[in.ID] = get(in.Args[0])
+			case ir.OpTrunc:
+				v := get(in.Args[0])
+				switch in.Type {
+				case ir.I1, ir.I8:
+					env[in.ID] = v & 0xff
+				case ir.I16:
+					env[in.ID] = v & 0xffff
+				case ir.I32:
+					env[in.ID] = v & 0xffffffff
+				default:
+					env[in.ID] = v
+				}
+			case ir.OpSIToFP:
+				env[in.ID] = math.Float64bits(float64(int64(get(in.Args[0]))))
+			case ir.OpFPToSI:
+				env[in.ID] = uint64(int64(getf(in.Args[0])))
+			case ir.OpLoad:
+				a := get(in.Args[0])
+				switch in.Type.Width() {
+				case 1:
+					env[in.ID] = ctx.Mem.Load8(a)
+				case 2:
+					env[in.ID] = ctx.Mem.Load16(a)
+				case 4:
+					env[in.ID] = ctx.Mem.Load32(a)
+				default:
+					env[in.ID] = ctx.Mem.Load64(a)
+				}
+			case ir.OpStore:
+				a := get(in.Args[0])
+				v := get(in.Args[1])
+				switch in.Args[1].Type.Width() {
+				case 1:
+					ctx.Mem.Store8(a, v)
+				case 2:
+					ctx.Mem.Store16(a, v)
+				case 4:
+					ctx.Mem.Store32(a, v)
+				default:
+					ctx.Mem.Store64(a, v)
+				}
+			case ir.OpGEP:
+				env[in.ID] = get(in.Args[0]) + get(in.Args[1])*in.Lit + uint64(int64(in.Lit2))
+			case ir.OpSelect:
+				if get(in.Args[0]) != 0 {
+					env[in.ID] = get(in.Args[1])
+				} else {
+					env[in.ID] = get(in.Args[2])
+				}
+			case ir.OpCall:
+				for i, a := range in.Args {
+					ctx.Args[i] = get(a)
+				}
+				r := ctx.Funcs[in.Callee](ctx, ctx.Args[:len(in.Args)])
+				if in.Type != ir.Void {
+					env[in.ID] = r
+				}
+			default:
+				panic(fmt.Sprintf("interp: cannot execute %s", in.Op))
+			}
+		}
+		t := cur.Term
+		switch t.Op {
+		case ir.OpBr:
+			prev, cur = cur, t.Targets[0]
+		case ir.OpCondBr:
+			if get(t.Args[0]) != 0 {
+				prev, cur = cur, t.Targets[0]
+			} else {
+				prev, cur = cur, t.Targets[1]
+			}
+		case ir.OpRet:
+			return get(t.Args[0])
+		case ir.OpRetVoid:
+			return 0
+		}
+	}
+}
+
+// pairFlag returns the overflow flag of a pair value by recomputing it
+// from the pair's operands (one word per value keeps env simple).
+func pairFlag(env []uint64, pair *ir.Value) uint64 {
+	// Recompute the overflow flag from the pair's operands; the operands'
+	// values are still available in env because SSA values never change.
+	x := int64(valOf(env, pair.Args[0]))
+	y := int64(valOf(env, pair.Args[1]))
+	var o bool
+	switch pair.Op {
+	case ir.OpSAddOvf:
+		_, o = vm.AddOverflow(x, y)
+	case ir.OpSSubOvf:
+		_, o = vm.SubOverflow(x, y)
+	default:
+		_, o = vm.MulOverflow(x, y)
+	}
+	return b2u(o)
+}
+
+func valOf(env []uint64, v *ir.Value) uint64 {
+	if v.Op == ir.OpConst {
+		return v.Const
+	}
+	return env[v.ID]
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

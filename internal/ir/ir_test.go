@@ -1,0 +1,235 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildLoopSum builds: func(n) { s=0; for i=0..n-1 { s += i }; return s }
+func buildLoopSum(m *Module) *Function {
+	f := m.NewFunc("loopsum", I64)
+	b := NewBuilder(f)
+	entry := b.B
+	head := f.NewBlock()
+	body := f.NewBlock()
+	exit := f.NewBlock()
+
+	zero := b.ConstI64(0)
+	one := b.ConstI64(1)
+	b.Br(head)
+
+	b.SetBlock(head)
+	i := b.Phi(I64)
+	s := b.Phi(I64)
+	cond := b.ICmp(SLt, i, f.Params[0])
+	b.CondBr(cond, body, exit)
+
+	b.SetBlock(body)
+	s2 := b.Add(s, i)
+	i2 := b.Add(i, one)
+	b.Br(head)
+
+	AddIncoming(i, zero, entry)
+	AddIncoming(i, i2, body)
+	AddIncoming(s, zero, entry)
+	AddIncoming(s, s2, body)
+
+	b.SetBlock(exit)
+	b.Ret(s)
+	return f
+}
+
+func TestBuilderAndVerify(t *testing.T) {
+	m := NewModule("test")
+	f := buildLoopSum(m)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// br, phi, phi, icmp, condbr, add, add, br, ret = 9 instructions.
+	if got := f.NumInstrs(); got != 9 {
+		t.Errorf("NumInstrs = %d, want 9", got)
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("bad")
+	f.NewBlock()
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected error for missing terminator")
+	}
+}
+
+func TestVerifyCatchesPhiAfterNonPhi(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for phi after non-phi")
+		}
+	}()
+	m := NewModule("test")
+	f := m.NewFunc("bad", I64)
+	b := NewBuilder(f)
+	b.Add(f.Params[0], b.ConstI64(1))
+	b.Phi(I64)
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("bad", I64)
+	b := NewBuilder(f)
+	blk2 := f.NewBlock()
+	blk3 := f.NewBlock()
+	// Define v in blk2, use it in blk3, but blk3 is reachable without blk2.
+	cond := b.ICmp(Eq, f.Params[0], b.ConstI64(0))
+	b.CondBr(cond, blk2, blk3)
+	b.SetBlock(blk2)
+	v := b.Add(f.Params[0], b.ConstI64(1))
+	b.Br(blk3)
+	b.SetBlock(blk3)
+	b.Ret(v)
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected dominance violation")
+	} else if !strings.Contains(err.Error(), "dominate") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestVerifyCatchesCallArityMismatch(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("bad", I64)
+	b := NewBuilder(f)
+	v := b.Call("f1", I64, f.Params[0])
+	b.Ret(v)
+	// Break the arity by appending an argument behind the builder's back.
+	call := f.Blocks[0].Instrs[0]
+	call.Args = append(call.Args, f.Params[0])
+	if err := f.Verify(); err == nil {
+		t.Fatal("expected arity error")
+	}
+}
+
+func TestExternDedup(t *testing.T) {
+	m := NewModule("test")
+	a := m.DeclareExtern("f", I64, I64)
+	b := m.DeclareExtern("f", I64, I64)
+	if a != b {
+		t.Errorf("extern indexes differ: %d vs %d", a, b)
+	}
+	c := m.DeclareExtern("g", Void)
+	if c == a {
+		t.Errorf("distinct externs share index")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on signature mismatch")
+		}
+	}()
+	m.DeclareExtern("f", Void, I64)
+}
+
+func TestConstDedup(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("f")
+	a := f.Const(I64, 42)
+	b := f.Const(I64, 42)
+	if a != b {
+		t.Error("equal constants not deduplicated")
+	}
+	if c := f.Const(I32, 42); c == a {
+		t.Error("constants of different type share value")
+	}
+	if got := len(f.Constants()); got != 2 {
+		t.Errorf("Constants() = %d, want 2", got)
+	}
+}
+
+func TestReversePostorder(t *testing.T) {
+	m := NewModule("test")
+	f := buildLoopSum(m)
+	rpo := f.ReversePostorder()
+	if len(rpo) != 4 {
+		t.Fatalf("rpo has %d blocks, want 4", len(rpo))
+	}
+	pos := map[int]int{}
+	for i, b := range rpo {
+		pos[b.ID] = i
+	}
+	// entry < head < body, head < exit
+	if !(pos[0] < pos[1] && pos[1] < pos[2] && pos[1] < pos[3]) {
+		t.Errorf("rpo order violated: %v", pos)
+	}
+}
+
+func TestSplitCriticalEdges(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("crit", I64)
+	b := NewBuilder(f)
+	left := f.NewBlock()
+	join := f.NewBlock()
+	// entry condbr -> (left, join); left -> join. The entry->join edge is
+	// critical because entry has 2 succs and join has 2 preds.
+	cond := b.ICmp(Eq, f.Params[0], b.ConstI64(0))
+	entry := b.B
+	b.CondBr(cond, left, join)
+	b.SetBlock(left)
+	v := b.Add(f.Params[0], b.ConstI64(1))
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(I64)
+	AddIncoming(phi, f.Params[0], entry)
+	AddIncoming(phi, v, left)
+	b.Ret(phi)
+
+	if err := f.Verify(); err != nil {
+		t.Fatalf("pre-split verify: %v", err)
+	}
+	n := f.SplitCriticalEdges()
+	if n != 1 {
+		t.Fatalf("split %d edges, want 1", n)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("post-split verify: %v", err)
+	}
+	if got := f.SplitCriticalEdges(); got != 0 {
+		t.Errorf("second split did %d edges, want 0 (idempotence)", got)
+	}
+	// No remaining critical edge into a phi block.
+	preds := f.Preds()
+	for _, blk := range f.Blocks {
+		if len(blk.Phis()) == 0 || len(preds[blk.ID]) < 2 {
+			continue
+		}
+		for _, p := range preds[blk.ID] {
+			if len(p.Succs()) > 1 {
+				t.Errorf("critical edge b%d -> b%d remains", p.ID, blk.ID)
+			}
+		}
+	}
+}
+
+func TestRemoveDeadBlocks(t *testing.T) {
+	m := NewModule("test")
+	f := m.NewFunc("dead", I64)
+	b := NewBuilder(f)
+	deadB := f.NewBlock()
+	b.Ret(f.Params[0])
+	b.SetBlock(deadB)
+	b.RetVoid()
+	if n := f.RemoveDeadBlocks(); n != 1 {
+		t.Fatalf("removed %d, want 1", n)
+	}
+	if len(f.Blocks) != 1 || f.Blocks[0].ID != 0 {
+		t.Errorf("blocks not renumbered: %v", len(f.Blocks))
+	}
+}
+
+func TestPrinterSmoke(t *testing.T) {
+	m := NewModule("test")
+	buildLoopSum(m)
+	s := m.String()
+	for _, want := range []string{"define @loopsum", "phi i64", "icmp slt", "condbr", "ret i64"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printer output missing %q:\n%s", want, s)
+		}
+	}
+}

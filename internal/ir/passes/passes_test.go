@@ -1,0 +1,223 @@
+package passes
+
+import (
+	"testing"
+
+	"aqe/internal/ir"
+)
+
+func TestConstFoldArithmetic(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f")
+	b := ir.NewBuilder(f)
+	v := b.Add(b.ConstI64(40), b.ConstI64(2))
+	w := b.Mul(v, b.ConstI64(2))
+	b.Ret(w)
+	n := ConstFold(f)
+	if n != 2 {
+		// Folding is iterative through rounds; a single call folds the
+		// first layer and exposes the second.
+		n += ConstFold(f)
+	}
+	if n != 2 {
+		t.Fatalf("folded %d, want 2", n)
+	}
+	ret := f.Blocks[0].Term
+	if !ret.Args[0].IsConst() || ret.Args[0].ConstI64() != 84 {
+		t.Errorf("result not folded to 84: %v", ret.Args[0])
+	}
+}
+
+func TestConstFoldIdentities(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	p := f.Params[0]
+	v := b.Add(p, b.ConstI64(0)) // x+0 => x
+	w := b.Mul(v, b.ConstI64(1)) // x*1 => x
+	x := b.Sub(w, w)             // x-x => 0
+	b.Ret(x)
+	for ConstFold(f) > 0 {
+	}
+	ret := f.Blocks[0].Term
+	if !ret.Args[0].IsConst() || ret.Args[0].ConstI64() != 0 {
+		t.Errorf("identities not folded: returns %v", ret.Args[0])
+	}
+}
+
+func TestConstFoldDoesNotFoldDivByZero(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f")
+	b := ir.NewBuilder(f)
+	v := b.SDiv(b.ConstI64(1), b.ConstI64(0))
+	b.Ret(v)
+	if n := ConstFold(f); n != 0 {
+		t.Errorf("folded a trapping division (%d)", n)
+	}
+}
+
+func TestLocalCSE(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64, ir.I64)
+	b := ir.NewBuilder(f)
+	x1 := b.Add(f.Params[0], f.Params[1])
+	x2 := b.Add(f.Params[0], f.Params[1])
+	x3 := b.Add(f.Params[1], f.Params[0]) // not commutatively matched
+	s := b.Add(b.Add(x1, x2), x3)
+	b.Ret(s)
+	if n := LocalCSE(f); n != 1 {
+		t.Errorf("CSE eliminated %d, want 1", n)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSEDoesNotMergeLoads(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	l1 := b.Load(ir.I64, f.Params[0])
+	b.Store(f.Params[0], b.ConstI64(7))
+	l2 := b.Load(ir.I64, f.Params[0])
+	b.Ret(b.Sub(l2, l1))
+	if n := LocalCSE(f); n != 0 {
+		t.Errorf("CSE merged loads across a store (%d)", n)
+	}
+}
+
+func TestDCE(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	dead1 := b.Add(f.Params[0], b.ConstI64(1))
+	dead2 := b.Mul(dead1, dead1) // chain: removing dead2 kills dead1
+	_ = dead2
+	live := b.Add(f.Params[0], b.ConstI64(2))
+	b.Call("sink", ir.Void, live) // calls are never removed
+	b.Ret(live)
+	if n := DCE(f); n != 2 {
+		t.Errorf("DCE removed %d, want 2", n)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimplifyCFGConstBranch(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	thenB := f.NewBlock()
+	elseB := f.NewBlock()
+	join := f.NewBlock()
+	entry := b.B
+	b.CondBr(b.ConstI1(true), thenB, elseB)
+	_ = entry
+	b.SetBlock(thenB)
+	v1 := b.Add(f.Params[0], b.ConstI64(1))
+	b.Br(join)
+	b.SetBlock(elseB)
+	v2 := b.Add(f.Params[0], b.ConstI64(2))
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(ir.I64)
+	ir.AddIncoming(phi, v1, thenB)
+	ir.AddIncoming(phi, v2, elseB)
+	b.Ret(phi)
+
+	gone := SimplifyCFG(f)
+	if gone == 0 {
+		t.Fatal("no blocks removed")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// The else path must be gone and the φ collapsed to one incoming.
+	for _, blk := range f.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpPhi && len(in.Args) > 1 {
+				t.Errorf("phi still has %d incoming", len(in.Args))
+			}
+		}
+	}
+}
+
+func TestSimplifyCFGMergesChains(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	b2 := f.NewBlock()
+	b3 := f.NewBlock()
+	v1 := b.Add(f.Params[0], b.ConstI64(1))
+	b.Br(b2)
+	b.SetBlock(b2)
+	v2 := b.Add(v1, b.ConstI64(2))
+	b.Br(b3)
+	b.SetBlock(b3)
+	b.Ret(v2)
+	if gone := SimplifyCFG(f); gone != 2 {
+		t.Fatalf("merged %d blocks, want 2", gone)
+	}
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected single block, have %d", len(f.Blocks))
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptimizeFixedPoint(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	thenB := f.NewBlock()
+	elseB := f.NewBlock()
+	join := f.NewBlock()
+	cond := b.ICmp(ir.SLt, b.ConstI64(1), b.ConstI64(2)) // folds to true
+	b.CondBr(cond, thenB, elseB)
+	b.SetBlock(thenB)
+	v1 := b.Add(f.Params[0], b.ConstI64(0)) // folds to param
+	b.Br(join)
+	b.SetBlock(elseB)
+	v2 := b.Mul(f.Params[0], b.ConstI64(0))
+	b.Br(join)
+	b.SetBlock(join)
+	phi := b.Phi(ir.I64)
+	ir.AddIncoming(phi, v1, thenB)
+	ir.AddIncoming(phi, v2, elseB)
+	b.Ret(phi)
+
+	s := Optimize(f)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Folded == 0 || s.BlocksGone == 0 {
+		t.Errorf("pipeline did nothing: %+v", s)
+	}
+	// The function should reduce to "ret param".
+	if len(f.Blocks) != 1 {
+		t.Errorf("expected 1 block, have %d", len(f.Blocks))
+	}
+	ret := f.Blocks[len(f.Blocks)-1].Term
+	if ret.Op != ir.OpRet || ret.Args[0] != f.Params[0] {
+		t.Errorf("expected ret param, got %s", f.String())
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	m := ir.NewModule("t")
+	f := m.NewFunc("f", ir.I64)
+	b := ir.NewBuilder(f)
+	v := b.Add(b.ConstI64(40), b.ConstI64(2))
+	b.Ret(b.Add(v, f.Params[0]))
+	before := f.String()
+	g := f.Clone()
+	Optimize(g)
+	if f.String() != before {
+		t.Error("optimizing the clone mutated the original")
+	}
+	if err := g.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

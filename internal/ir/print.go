@@ -1,0 +1,112 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// String renders the module in an LLVM-flavoured textual form, used in
+// tests and debugging.
+func (m *Module) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; module %s\n", m.Name)
+	for i, e := range m.Externs {
+		args := make([]string, len(e.Args))
+		for j, a := range e.Args {
+			args[j] = a.String()
+		}
+		fmt.Fprintf(&sb, "declare %s @%s(%s) ; extern %d\n", e.Ret, e.Name, strings.Join(args, ", "), i)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}
+
+// String renders the function.
+func (f *Function) String() string {
+	var sb strings.Builder
+	params := make([]string, len(f.Params))
+	for i, p := range f.Params {
+		params[i] = fmt.Sprintf("%s %%%d", p.Type, p.ID)
+	}
+	fmt.Fprintf(&sb, "define @%s(%s) {\n", f.Name, strings.Join(params, ", "))
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "b%d:\n", b.ID)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in.instrString())
+		}
+		if b.Term != nil {
+			fmt.Fprintf(&sb, "  %s\n", b.Term.instrString())
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func (v *Value) ref() string {
+	switch v.Op {
+	case OpConst:
+		if v.Type == F64 {
+			return fmt.Sprintf("%g", math.Float64frombits(v.Const))
+		}
+		return fmt.Sprintf("%d", int64(v.Const))
+	default:
+		return fmt.Sprintf("%%%d", v.ID)
+	}
+}
+
+func (v *Value) instrString() string {
+	var sb strings.Builder
+	if v.Type != Void {
+		fmt.Fprintf(&sb, "%%%d = ", v.ID)
+	}
+	switch v.Op {
+	case OpICmp, OpFCmp:
+		fmt.Fprintf(&sb, "%s %s %s, %s", v.Op, v.Pred, v.Args[0].ref(), v.Args[1].ref())
+	case OpGEP:
+		fmt.Fprintf(&sb, "gep %s, %s*%d+%d", v.Args[0].ref(), v.Args[1].ref(), int64(v.Lit), int64(v.Lit2))
+	case OpExtractValue:
+		fmt.Fprintf(&sb, "extractvalue %s, %d", v.Args[0].ref(), v.Lit)
+	case OpLoad:
+		fmt.Fprintf(&sb, "load %s, %s", v.Type, v.Args[0].ref())
+	case OpStore:
+		fmt.Fprintf(&sb, "store %s %s, %s", v.Args[1].Type, v.Args[1].ref(), v.Args[0].ref())
+	case OpPhi:
+		fmt.Fprintf(&sb, "phi %s ", v.Type)
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "[%s, b%d]", a.ref(), v.Incoming[i].ID)
+		}
+	case OpCall:
+		name := fmt.Sprintf("extern%d", v.Callee)
+		if v.Block != nil && v.Block.Fn != nil && v.Callee < len(v.Block.Fn.Module.Externs) {
+			name = v.Block.Fn.Module.Externs[v.Callee].Name
+		}
+		args := make([]string, len(v.Args))
+		for i, a := range v.Args {
+			args[i] = a.ref()
+		}
+		fmt.Fprintf(&sb, "call %s @%s(%s)", v.Type, name, strings.Join(args, ", "))
+	case OpBr:
+		fmt.Fprintf(&sb, "br b%d", v.Targets[0].ID)
+	case OpCondBr:
+		fmt.Fprintf(&sb, "condbr %s, b%d, b%d", v.Args[0].ref(), v.Targets[0].ID, v.Targets[1].ID)
+	case OpRet:
+		fmt.Fprintf(&sb, "ret %s %s", v.Args[0].Type, v.Args[0].ref())
+	case OpRetVoid:
+		sb.WriteString("ret void")
+	default:
+		fmt.Fprintf(&sb, "%s", v.Op)
+		for i, a := range v.Args {
+			if i > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, " %s", a.ref())
+		}
+	}
+	return sb.String()
+}

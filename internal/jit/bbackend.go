@@ -1,0 +1,894 @@
+package jit
+
+import (
+	"fmt"
+	"math"
+
+	"aqe/internal/ir"
+	"aqe/internal/ir/passes"
+	"aqe/internal/rt"
+	"aqe/internal/vm"
+)
+
+// The closure backend compiles IR by value threading: each SSA value
+// becomes a closure; pure single-use values are inlined into their
+// consumer's closure so expression trees execute as one nested call chain
+// without intermediate register traffic. Fusions mirror what an
+// instruction selector does on real hardware:
+//
+//   - the overflow-check group (ovf-op, extractvalue 0/1, condbr to a trap
+//     block) becomes a single throwing value node;
+//   - a terminator's condition tree is evaluated inside the branch closure
+//     (before the φ-moves, which the same closure performs);
+//   - in the optimized tier, a single-use load is inlined into its
+//     consumer when no store or call intervenes.
+//
+// The unoptimized tier runs the same backend without the IR pass pipeline
+// and without load inlining — the closure analogue of fast instruction
+// selection. The optimized tier clones the function and runs the full
+// pass pipeline first.
+func compileClosures(f *ir.Function, level Level) (*Compiled, error) {
+	g := f
+	var pstats passes.Stats
+	if level == Optimized {
+		g = f.Clone()
+		pstats = passes.Optimize(g)
+	}
+	g.SplitCriticalEdges()
+	if err := g.Verify(); err != nil {
+		return nil, fmt.Errorf("jit: compile %s: %w", g.Name, err)
+	}
+	bc := &bcompiler{
+		f:          g,
+		inlineLoad: level == Optimized,
+		mat:        make(map[*ir.Value]bool),
+		slot:       make(map[*ir.Value]int32),
+		memo:       make(map[*ir.Value]valFn),
+		checked:    make(map[*ir.Value]*ir.Value),
+		skip:       make(map[*ir.Value]bool),
+		termJump:   make(map[*ir.Block]*ir.Block),
+	}
+	c, err := bc.compile()
+	if err != nil {
+		return nil, err
+	}
+	c.Stats.Passes = pstats
+	c.Stats.IRInstrs = g.NumInstrs()
+	return c, nil
+}
+
+type valFn func(regs []uint64, fr *frame) uint64
+type opFn func(regs []uint64, fr *frame)
+type termFn func(regs []uint64, fr *frame) int
+
+type cblock struct {
+	ops  []opFn
+	term termFn
+}
+
+type bcompiler struct {
+	f          *ir.Function
+	inlineLoad bool
+
+	mat  map[*ir.Value]bool
+	slot map[*ir.Value]int32
+	memo map[*ir.Value]valFn
+
+	// checked maps the extract0 of a fused overflow group to its ovf op;
+	// skip marks group members that emit nothing; termJump overrides a
+	// block's CondBr with a direct jump after fusion.
+	checked  map[*ir.Value]*ir.Value
+	skip     map[*ir.Value]bool
+	termJump map[*ir.Block]*ir.Block
+
+	// inlined loads (optimized tier only).
+	inlinedLoads map[*ir.Value]bool
+
+	next     int32
+	scratch  int32
+	closures int
+	blockIdx map[*ir.Block]int
+}
+
+// pureB reports whether the value can be inlined into a consumer: no side
+// effects, no traps, no memory reads.
+func pureB(op ir.Op) bool {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul,
+		ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv,
+		ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpLShr, ir.OpAShr,
+		ir.OpICmp, ir.OpFCmp,
+		ir.OpSExt, ir.OpZExt, ir.OpTrunc, ir.OpSIToFP, ir.OpFPToSI,
+		ir.OpGEP, ir.OpSelect, ir.OpExtractValue:
+		return true
+	}
+	return false
+}
+
+// isTrapBlock recognizes the overflow-handler shape codegen emits: no φs,
+// a single call to a trapping extern, ret void.
+func (bc *bcompiler) isTrapBlock(b *ir.Block) bool {
+	if len(b.Instrs) != 1 || b.Term.Op != ir.OpRetVoid {
+		return false
+	}
+	call := b.Instrs[0]
+	if call.Op != ir.OpCall {
+		return false
+	}
+	name := bc.f.Module.Externs[call.Callee].Name
+	return name == "trap_overflow" || name == "trap_divzero"
+}
+
+// planChecked finds overflow groups whose failure edge leads to a trap
+// block and rewrites them into throwing value nodes.
+func (bc *bcompiler) planChecked(useCount map[*ir.Value]int) {
+	for _, b := range bc.f.Blocks {
+		t := b.Term
+		if t.Op != ir.OpCondBr {
+			continue
+		}
+		cond := t.Args[0]
+		if !cond.IsInstr() || cond.Op != ir.OpExtractValue || cond.Lit != 1 ||
+			cond.Block != b || useCount[cond] != 1 {
+			continue
+		}
+		pair := cond.Args[0]
+		if pair.Block != b || pair.Type != ir.Pair {
+			continue
+		}
+		switch pair.Op {
+		case ir.OpSAddOvf, ir.OpSSubOvf, ir.OpSMulOvf:
+		default:
+			continue
+		}
+		var trapTarget, contTarget *ir.Block
+		if bc.isTrapBlock(t.Targets[0]) {
+			trapTarget, contTarget = t.Targets[0], t.Targets[1]
+		} else if bc.isTrapBlock(t.Targets[1]) {
+			trapTarget, contTarget = t.Targets[1], t.Targets[0]
+		} else {
+			continue
+		}
+		if len(trapTarget.Phis()) > 0 || len(contTarget.Phis()) > 0 {
+			// φ-moves on the edge would be lost; keep the general path.
+			continue
+		}
+		// Locate extract0; the pair may be consumed only by its extracts.
+		var result *ir.Value
+		ok := true
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if a == pair && in != cond {
+					if in.Op == ir.OpExtractValue && in.Lit == 0 {
+						result = in
+					} else {
+						ok = false
+					}
+				}
+			}
+		}
+		if !ok || result == nil || useCount[pair] > 2 {
+			continue
+		}
+		bc.checked[result] = pair
+		bc.skip[pair] = true
+		bc.skip[cond] = true
+		bc.termJump[b] = contTarget
+	}
+}
+
+func (bc *bcompiler) compile() (*Compiled, error) {
+	f := bc.f
+
+	for _, p := range f.Params {
+		bc.slot[p] = bc.next
+		bc.next++
+	}
+
+	// Use accounting.
+	useCount := make(map[*ir.Value]int)
+	countUses := func(u *ir.Value) {
+		for _, a := range u.Args {
+			if a.IsInstr() {
+				useCount[a]++
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			countUses(in)
+		}
+		countUses(b.Term)
+	}
+	bc.planChecked(useCount)
+	if bc.inlineLoad {
+		bc.planLoadInlining(useCount)
+	}
+
+	// Materialization analysis. A value needs a register slot when it is
+	// used more than once, used outside its defining block, used by a
+	// φ-move, or is a non-pure root that is not otherwise fused away.
+	// Terminator conditions and return values are inlined into the
+	// terminator closure when they are single-use pure trees.
+	seenUse := make(map[*ir.Value]bool)
+	use := func(u *ir.Value, a *ir.Value, forceMat bool) {
+		if !a.IsInstr() || bc.skip[a] {
+			return
+		}
+		if seenUse[a] || forceMat || u.Block != a.Block {
+			bc.mat[a] = true
+		}
+		seenUse[a] = true
+	}
+	inlinable := func(v *ir.Value) bool {
+		if bc.checked[v] != nil || bc.inlinedLoads[v] {
+			return true
+		}
+		return pureB(v.Op)
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if bc.skip[in] {
+				continue
+			}
+			if in.Type != ir.Void && in.Op != ir.OpPhi && !inlinable(in) {
+				bc.mat[in] = true
+			}
+			if in.Op == ir.OpPhi {
+				bc.mat[in] = true
+				for _, a := range in.Args {
+					use(in, a, true) // φ-moves read registers
+				}
+				continue
+			}
+			for _, a := range in.Args {
+				use(in, a, false)
+			}
+		}
+		// Terminator operands: inline single-use pure trees.
+		for _, a := range b.Term.Args {
+			use(b.Term, a, false)
+		}
+	}
+
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if !bc.mat[in] || bc.skip[in] {
+				continue
+			}
+			bc.slot[in] = bc.next
+			if in.Type == ir.Pair {
+				bc.next += 2
+			} else {
+				bc.next++
+			}
+		}
+	}
+	bc.scratch = bc.next
+	bc.next++
+
+	bc.blockIdx = make(map[*ir.Block]int, len(f.Blocks))
+	for i, b := range f.Blocks {
+		bc.blockIdx[b] = i
+	}
+	blocks := make([]cblock, len(f.Blocks))
+	for i, b := range f.Blocks {
+		cb := &blocks[i]
+		for _, in := range b.Instrs {
+			if op := bc.emitInstr(in); op != nil {
+				cb.ops = append(cb.ops, op)
+			}
+		}
+		cb.term = bc.emitTerm(b)
+	}
+	bc.mergeBlocks(blocks)
+
+	// Fuse every block into a single closure: small blocks (filter exits,
+	// key-compare chains) would otherwise pay slice setup plus a separate
+	// terminator dispatch on every visit.
+	fns := make([]func(regs []uint64, fr *frame) int, len(blocks))
+	for i := range blocks {
+		fns[i] = fuseBlock(blocks[i].ops, blocks[i].term)
+	}
+	c := &Compiled{
+		Name:      f.Name,
+		numRegs:   int(bc.next),
+		paramBase: 0,
+	}
+	c.Stats.Closures = bc.closures
+	c.run = func(fr *frame) {
+		regs := fr.regs
+		bi := 0
+		for bi >= 0 {
+			bi = fns[bi](regs, fr)
+		}
+	}
+	return c, nil
+}
+
+// fuseBlock composes a block's root closures and terminator into one
+// closure, specialized for the common small block sizes.
+func fuseBlock(ops []opFn, term termFn) func(regs []uint64, fr *frame) int {
+	switch len(ops) {
+	case 0:
+		return term
+	case 1:
+		o0 := ops[0]
+		return func(regs []uint64, fr *frame) int {
+			o0(regs, fr)
+			return term(regs, fr)
+		}
+	case 2:
+		o0, o1 := ops[0], ops[1]
+		return func(regs []uint64, fr *frame) int {
+			o0(regs, fr)
+			o1(regs, fr)
+			return term(regs, fr)
+		}
+	case 3:
+		o0, o1, o2 := ops[0], ops[1], ops[2]
+		return func(regs []uint64, fr *frame) int {
+			o0(regs, fr)
+			o1(regs, fr)
+			o2(regs, fr)
+			return term(regs, fr)
+		}
+	case 4:
+		o0, o1, o2, o3 := ops[0], ops[1], ops[2], ops[3]
+		return func(regs []uint64, fr *frame) int {
+			o0(regs, fr)
+			o1(regs, fr)
+			o2(regs, fr)
+			o3(regs, fr)
+			return term(regs, fr)
+		}
+	default:
+		return func(regs []uint64, fr *frame) int {
+			for _, op := range ops {
+				op(regs, fr)
+			}
+			return term(regs, fr)
+		}
+	}
+}
+
+// planLoadInlining marks single-use loads that may evaluate at their
+// consumer's position: the consumer chain up to its materialized root must
+// cross no store or call (memory barrier).
+func (bc *bcompiler) planLoadInlining(useCount map[*ir.Value]int) {
+	bc.inlinedLoads = make(map[*ir.Value]bool)
+	for _, b := range bc.f.Blocks {
+		pos := make(map[*ir.Value]int, len(b.Instrs))
+		barriers := make([]int, len(b.Instrs)+1) // prefix count
+		consumer := make(map[*ir.Value]*ir.Value)
+		for i, in := range b.Instrs {
+			pos[in] = i
+			barriers[i+1] = barriers[i]
+			if in.Op == ir.OpStore || in.Op == ir.OpCall {
+				barriers[i+1]++
+			}
+			for _, a := range in.Args {
+				consumer[a] = in
+			}
+		}
+		// evalPos: where a non-materialized value actually evaluates.
+		var evalPos func(v *ir.Value) int
+		evalPos = func(v *ir.Value) int {
+			c, ok := consumer[v]
+			if !ok || c.Block != b {
+				return len(b.Instrs) // consumed by the terminator
+			}
+			if bc.mat[c] || !pureB(c.Op) {
+				return pos[c]
+			}
+			return evalPos(c)
+		}
+		for i, in := range b.Instrs {
+			if in.Op != ir.OpLoad || useCount[in] != 1 {
+				continue
+			}
+			c, ok := consumer[in]
+			if !ok || c.Block != b {
+				continue
+			}
+			ep := evalPos(in)
+			if barriers[minInt(ep, len(b.Instrs))] == barriers[i+1] {
+				bc.inlinedLoads[in] = true
+			}
+		}
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// val returns the evaluation closure for v.
+func (bc *bcompiler) val(v *ir.Value) valFn {
+	if fn, ok := bc.memo[v]; ok {
+		return fn
+	}
+	var fn valFn
+	switch {
+	case v.IsConst():
+		c := v.Const
+		fn = func(regs []uint64, fr *frame) uint64 { return c }
+	case v.Op == ir.OpParam || bc.mat[v]:
+		// Materialized values read their register; a materialized fused
+		// overflow result is written once by its root closure.
+		s := bc.slotOf(v)
+		fn = func(regs []uint64, fr *frame) uint64 { return regs[s] }
+	case bc.checked[v] != nil:
+		fn = bc.buildChecked(bc.checked[v])
+	case bc.inlinedLoads != nil && bc.inlinedLoads[v]:
+		fn = bc.buildLoad(v)
+	default:
+		fn = bc.buildExpr(v)
+	}
+	bc.memo[v] = fn
+	bc.closures++
+	return fn
+}
+
+// buildChecked compiles a fused overflow group into a throwing value node:
+// the branch to the trap block becomes a panic on overflow, which is
+// exactly what the trap extern does.
+func (bc *bcompiler) buildChecked(pair *ir.Value) valFn {
+	return bc.checkedNode(pair)
+}
+
+// buildLoad compiles a load as a value node with the address computation
+// fused in (shape-specialized).
+func (bc *bcompiler) buildLoad(v *ir.Value) valFn {
+	return bc.loadNode(v)
+}
+
+// buildExpr composes the closure computing a pure instruction.
+func (bc *bcompiler) buildExpr(v *ir.Value) valFn {
+	switch v.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		return bc.binI64(v.Op, v)
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		return bc.fbinNode(v.Op, v)
+	case ir.OpShl:
+		l, r := bc.val(v.Args[0]), bc.val(v.Args[1])
+		return func(regs []uint64, fr *frame) uint64 { return l(regs, fr) << (r(regs, fr) & 63) }
+	case ir.OpLShr:
+		l, r := bc.val(v.Args[0]), bc.val(v.Args[1])
+		return func(regs []uint64, fr *frame) uint64 { return l(regs, fr) >> (r(regs, fr) & 63) }
+	case ir.OpAShr:
+		l, r := bc.val(v.Args[0]), bc.val(v.Args[1])
+		return func(regs []uint64, fr *frame) uint64 {
+			return uint64(int64(l(regs, fr)) >> (r(regs, fr) & 63))
+		}
+	case ir.OpICmp:
+		return bc.icmpNode(v)
+	case ir.OpFCmp:
+		return bc.buildFCmp(v)
+	case ir.OpSExt:
+		x := bc.val(v.Args[0])
+		switch v.Args[0].Type {
+		case ir.I1, ir.I8:
+			return func(regs []uint64, fr *frame) uint64 { return uint64(int64(int8(x(regs, fr)))) }
+		case ir.I16:
+			return func(regs []uint64, fr *frame) uint64 { return uint64(int64(int16(x(regs, fr)))) }
+		case ir.I32:
+			return func(regs []uint64, fr *frame) uint64 { return uint64(int64(int32(x(regs, fr)))) }
+		}
+		return x
+	case ir.OpZExt:
+		return bc.val(v.Args[0])
+	case ir.OpTrunc:
+		x := bc.val(v.Args[0])
+		switch v.Type {
+		case ir.I1, ir.I8:
+			return func(regs []uint64, fr *frame) uint64 { return x(regs, fr) & 0xff }
+		case ir.I16:
+			return func(regs []uint64, fr *frame) uint64 { return x(regs, fr) & 0xffff }
+		case ir.I32:
+			return func(regs []uint64, fr *frame) uint64 { return x(regs, fr) & 0xffffffff }
+		}
+		return x
+	case ir.OpSIToFP:
+		x := bc.val(v.Args[0])
+		return func(regs []uint64, fr *frame) uint64 {
+			return math.Float64bits(float64(int64(x(regs, fr))))
+		}
+	case ir.OpFPToSI:
+		x := bc.val(v.Args[0])
+		return func(regs []uint64, fr *frame) uint64 {
+			return uint64(int64(math.Float64frombits(x(regs, fr))))
+		}
+	case ir.OpGEP:
+		b, i := bc.opnd(v.Args[0]), bc.opnd(v.Args[1])
+		scale, disp := v.Lit, uint64(int64(v.Lit2))
+		switch {
+		case b.kind == oReg && i.kind == oReg:
+			bs, is := b.slot, i.slot
+			return func(regs []uint64, fr *frame) uint64 {
+				return regs[bs] + regs[is]*scale + disp
+			}
+		case b.kind == oReg && i.kind == oImm:
+			bs := b.slot
+			off := i.imm*scale + disp
+			return func(regs []uint64, fr *frame) uint64 { return regs[bs] + off }
+		case b.kind == oImm && i.kind == oReg:
+			base := b.imm + disp
+			is := i.slot
+			return func(regs []uint64, fr *frame) uint64 { return base + regs[is]*scale }
+		default:
+			base, idx := bc.fnOf(b), bc.fnOf(i)
+			return func(regs []uint64, fr *frame) uint64 {
+				return base(regs, fr) + idx(regs, fr)*scale + disp
+			}
+		}
+	case ir.OpSelect:
+		c, x, y := bc.val(v.Args[0]), bc.val(v.Args[1]), bc.val(v.Args[2])
+		return func(regs []uint64, fr *frame) uint64 {
+			if c(regs, fr) != 0 {
+				return x(regs, fr)
+			}
+			return y(regs, fr)
+		}
+	case ir.OpExtractValue:
+		s := bc.slotOf(v.Args[0]) + int32(v.Lit)
+		return func(regs []uint64, fr *frame) uint64 { return regs[s] }
+	}
+	panic(fmt.Sprintf("jit: buildExpr on %s", v.Op))
+}
+
+func (bc *bcompiler) buildFCmp(v *ir.Value) valFn {
+	l, r := bc.val(v.Args[0]), bc.val(v.Args[1])
+	pred := v.Pred
+	return func(regs []uint64, fr *frame) uint64 {
+		x, y := math.Float64frombits(l(regs, fr)), math.Float64frombits(r(regs, fr))
+		var res bool
+		switch pred {
+		case ir.Eq:
+			res = x == y
+		case ir.Ne:
+			res = x != y
+		case ir.SLt:
+			res = x < y
+		case ir.SLe:
+			res = x <= y
+		case ir.SGt:
+			res = x > y
+		default:
+			res = x >= y
+		}
+		return b2u(res)
+	}
+}
+
+// emitInstr emits the root closure for an instruction, or nil when the
+// value is inlined into consumers or fused away.
+func (bc *bcompiler) emitInstr(in *ir.Value) opFn {
+	if bc.skip[in] || in.Op == ir.OpPhi {
+		return nil
+	}
+	if bc.checked[in] != nil {
+		// Fused overflow result: materialize only if required.
+		if !bc.mat[in] {
+			return nil
+		}
+		e := bc.buildChecked(bc.checked[in])
+		s := bc.slotOf(in)
+		bc.closures++
+		return func(regs []uint64, fr *frame) { regs[s] = e(regs, fr) }
+	}
+	bc.closures++
+	switch in.Op {
+	case ir.OpLoad:
+		if bc.inlinedLoads != nil && bc.inlinedLoads[in] {
+			bc.closures--
+			return nil
+		}
+		return bc.rootOf(bc.slotOf(in), in)
+	case ir.OpStore:
+		return bc.storeNode(in)
+	case ir.OpCall:
+		argFns := make([]valFn, len(in.Args))
+		for i, a := range in.Args {
+			argFns[i] = bc.val(a)
+		}
+		idx := in.Callee
+		n := len(in.Args)
+		if in.Type == ir.Void {
+			return func(regs []uint64, fr *frame) {
+				for i, af := range argFns {
+					fr.ctx.Args[i] = af(regs, fr)
+				}
+				fr.ctx.Funcs[idx](fr.ctx, fr.ctx.Args[:n])
+			}
+		}
+		s := bc.slotOf(in)
+		return func(regs []uint64, fr *frame) {
+			for i, af := range argFns {
+				fr.ctx.Args[i] = af(regs, fr)
+			}
+			regs[s] = fr.ctx.Funcs[idx](fr.ctx, fr.ctx.Args[:n])
+		}
+	case ir.OpSDiv:
+		l, r := bc.val(in.Args[0]), bc.val(in.Args[1])
+		s := bc.slotOf(in)
+		return func(regs []uint64, fr *frame) {
+			d := int64(r(regs, fr))
+			if d == 0 {
+				rt.Throw(rt.TrapDivZero)
+			}
+			n := int64(l(regs, fr))
+			if n == math.MinInt64 && d == -1 {
+				rt.Throw(rt.TrapOverflow)
+			}
+			regs[s] = uint64(n / d)
+		}
+	case ir.OpSRem:
+		l, r := bc.val(in.Args[0]), bc.val(in.Args[1])
+		s := bc.slotOf(in)
+		return func(regs []uint64, fr *frame) {
+			d := int64(r(regs, fr))
+			if d == 0 {
+				rt.Throw(rt.TrapDivZero)
+			}
+			n := int64(l(regs, fr))
+			if n == math.MinInt64 && d == -1 {
+				regs[s] = 0
+			} else {
+				regs[s] = uint64(n % d)
+			}
+		}
+	case ir.OpUDiv:
+		l, r := bc.val(in.Args[0]), bc.val(in.Args[1])
+		s := bc.slotOf(in)
+		return func(regs []uint64, fr *frame) {
+			d := r(regs, fr)
+			if d == 0 {
+				rt.Throw(rt.TrapDivZero)
+			}
+			regs[s] = l(regs, fr) / d
+		}
+	case ir.OpURem:
+		l, r := bc.val(in.Args[0]), bc.val(in.Args[1])
+		s := bc.slotOf(in)
+		return func(regs []uint64, fr *frame) {
+			d := r(regs, fr)
+			if d == 0 {
+				rt.Throw(rt.TrapDivZero)
+			}
+			regs[s] = l(regs, fr) % d
+		}
+	case ir.OpSAddOvf, ir.OpSSubOvf, ir.OpSMulOvf:
+		l, r := bc.val(in.Args[0]), bc.val(in.Args[1])
+		s := bc.slotOf(in)
+		var core func(x, y int64) (int64, bool)
+		switch in.Op {
+		case ir.OpSAddOvf:
+			core = vm.AddOverflow
+		case ir.OpSSubOvf:
+			core = vm.SubOverflow
+		default:
+			core = vm.MulOverflow
+		}
+		return func(regs []uint64, fr *frame) {
+			v, o := core(int64(l(regs, fr)), int64(r(regs, fr)))
+			regs[s], regs[s+1] = uint64(v), b2u(o)
+		}
+	default:
+		if !pureB(in.Op) {
+			panic(fmt.Sprintf("jit: unexpected instruction %s", in.Op))
+		}
+		if !bc.mat[in] {
+			bc.closures--
+			return nil // inlined into consumers
+		}
+		return bc.rootOf(bc.slotOf(in), in)
+	}
+}
+
+// pmove is one φ-move (src < 0: immediate).
+type pmove struct {
+	dst, src int32
+	imm      uint64
+}
+
+// phiMoves computes the sequentialized parallel copy for the edge b -> its
+// successors' φ-nodes.
+func (bc *bcompiler) phiMoves(b *ir.Block) []pmove {
+	var moves []pmove
+	for _, s := range b.Succs() {
+		for _, phi := range s.Phis() {
+			for i, in := range phi.Incoming {
+				if in != b {
+					continue
+				}
+				dst := bc.slotOf(phi)
+				a := phi.Args[i]
+				if a.IsConst() {
+					moves = append(moves, pmove{dst: dst, src: -1, imm: a.Const})
+				} else if src := bc.slotOf(a); src != dst {
+					moves = append(moves, pmove{dst: dst, src: src})
+				}
+			}
+		}
+	}
+	// Sequentialize with the scratch slot on cycles.
+	var out []pmove
+	for len(moves) > 0 {
+		progress := false
+		for i := 0; i < len(moves); i++ {
+			m := moves[i]
+			blocked := false
+			for j, o := range moves {
+				if j != i && o.src == m.dst {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			out = append(out, m)
+			moves = append(moves[:i], moves[i+1:]...)
+			i--
+			progress = true
+		}
+		if !progress {
+			d := moves[0].dst
+			out = append(out, pmove{dst: bc.scratch, src: d})
+			for i := range moves {
+				if moves[i].src == d {
+					moves[i].src = bc.scratch
+				}
+			}
+		}
+	}
+	return out
+}
+
+func runMoves(moves []pmove, regs []uint64) {
+	for _, m := range moves {
+		if m.src < 0 {
+			regs[m.dst] = m.imm
+		} else {
+			regs[m.dst] = regs[m.src]
+		}
+	}
+}
+
+// emitTerm builds the terminator closure: it evaluates the condition tree
+// (before the φ-moves, which it then performs) and returns the next block.
+func (bc *bcompiler) emitTerm(b *ir.Block) termFn {
+	bc.closures++
+	moves := bc.phiMoves(b)
+	t := b.Term
+
+	// Fused overflow groups turned this CondBr into a direct jump.
+	if tgt, ok := bc.termJump[b]; ok {
+		next := bc.blockIdx[tgt]
+		if len(moves) == 0 {
+			return func(regs []uint64, fr *frame) int { return next }
+		}
+		return func(regs []uint64, fr *frame) int {
+			runMoves(moves, regs)
+			return next
+		}
+	}
+
+	switch t.Op {
+	case ir.OpBr:
+		next := bc.blockIdx[t.Targets[0]]
+		if len(moves) == 0 {
+			return func(regs []uint64, fr *frame) int { return next }
+		}
+		if len(moves) == 1 {
+			m := moves[0]
+			if m.src >= 0 {
+				return func(regs []uint64, fr *frame) int {
+					regs[m.dst] = regs[m.src]
+					return next
+				}
+			}
+		}
+		return func(regs []uint64, fr *frame) int {
+			runMoves(moves, regs)
+			return next
+		}
+	case ir.OpCondBr:
+		if fused := bc.condBrTerm(b, moves); fused != nil {
+			return fused
+		}
+		then, els := bc.blockIdx[t.Targets[0]], bc.blockIdx[t.Targets[1]]
+		cond := bc.val(t.Args[0])
+		if len(moves) == 0 {
+			return func(regs []uint64, fr *frame) int {
+				if cond(regs, fr) != 0 {
+					return then
+				}
+				return els
+			}
+		}
+		return func(regs []uint64, fr *frame) int {
+			c := cond(regs, fr)
+			runMoves(moves, regs)
+			if c != 0 {
+				return then
+			}
+			return els
+		}
+	case ir.OpRet:
+		ret := bc.val(t.Args[0])
+		return func(regs []uint64, fr *frame) int {
+			fr.ret = ret(regs, fr)
+			return -1
+		}
+	default: // OpRetVoid
+		return func(regs []uint64, fr *frame) int {
+			fr.ret = 0
+			return -1
+		}
+	}
+}
+
+// slotOf returns the register slot of a materialized value, panicking on a
+// compiler bug rather than silently reading slot 0.
+func (bc *bcompiler) slotOf(v *ir.Value) int32 {
+	s, ok := bc.slot[v]
+	if !ok {
+		panic(fmt.Sprintf("jit: value %%%d (%s) has no slot", v.ID, v.Op))
+	}
+	return s
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// mergeBlocks splices single-predecessor, φ-free jump targets into their
+// predecessor's closure block (checked-arith fusion leaves such chains
+// behind), removing a terminator dispatch and a block-loop round per
+// tuple. Spliced blocks become unreachable; their cblock entries are
+// simply never jumped to.
+func (bc *bcompiler) mergeBlocks(blocks []cblock) {
+	succOf := func(b *ir.Block) *ir.Block {
+		if t, ok := bc.termJump[b]; ok {
+			return t
+		}
+		if b.Term.Op == ir.OpBr {
+			return b.Term.Targets[0]
+		}
+		return nil
+	}
+	preds := make([]int, len(blocks))
+	for _, b := range bc.f.Blocks {
+		if t := succOf(b); t != nil {
+			preds[bc.blockIdx[t]]++
+			continue
+		}
+		for _, s := range b.Succs() {
+			preds[bc.blockIdx[s]]++
+		}
+	}
+	for i, b := range bc.f.Blocks {
+		cur := b
+		for {
+			tgt := succOf(cur)
+			if tgt == nil || tgt == b {
+				break
+			}
+			ti := bc.blockIdx[tgt]
+			if preds[ti] != 1 || len(tgt.Phis()) > 0 || len(bc.phiMoves(cur)) > 0 {
+				break
+			}
+			blocks[i].ops = append(blocks[i].ops, blocks[ti].ops...)
+			blocks[i].term = blocks[ti].term
+			cur = tgt
+		}
+	}
+}

@@ -1,0 +1,682 @@
+package jit
+
+import (
+	"encoding/binary"
+	"math"
+
+	"aqe/internal/ir"
+	"aqe/internal/rt"
+	"aqe/internal/vm"
+)
+
+// Operand-shape specialization: a value-threaded backend lives or dies by
+// the number of indirect calls per tuple. Reading a register or a constant
+// through a leaf closure costs a full call; instead, every hot node
+// inspects its operands' shapes at compile time (register slot, immediate,
+// or nested tree) and builds a closure that accesses registers and
+// immediates directly. This is the closure-compilation analogue of
+// instruction selection with register/immediate addressing modes.
+
+type opndKind uint8
+
+const (
+	oReg opndKind = iota
+	oImm
+	oTree
+)
+
+type opnd struct {
+	kind opndKind
+	slot int32
+	imm  uint64
+	fn   valFn
+}
+
+func (bc *bcompiler) opnd(v *ir.Value) opnd {
+	switch {
+	case v.IsConst():
+		return opnd{kind: oImm, imm: v.Const}
+	case v.Op == ir.OpParam || bc.mat[v]:
+		return opnd{kind: oReg, slot: bc.slotOf(v)}
+	default:
+		return opnd{kind: oTree, fn: bc.val(v)}
+	}
+}
+
+// fn returns a generic getter for the operand (used by cold paths).
+func (bc *bcompiler) fnOf(o opnd) valFn {
+	switch o.kind {
+	case oReg:
+		s := o.slot
+		return func(regs []uint64, fr *frame) uint64 { return regs[s] }
+	case oImm:
+		c := o.imm
+		return func(regs []uint64, fr *frame) uint64 { return c }
+	default:
+		return o.fn
+	}
+}
+
+// binI64 builds a specialized i64 binary node for add/sub/mul.
+func (bc *bcompiler) binI64(op ir.Op, v *ir.Value) valFn {
+	l, r := bc.opnd(v.Args[0]), bc.opnd(v.Args[1])
+	type f2 = func(x, y uint64) uint64
+	var apply f2
+	switch op {
+	case ir.OpAdd:
+		apply = func(x, y uint64) uint64 { return x + y }
+	case ir.OpSub:
+		apply = func(x, y uint64) uint64 { return x - y }
+	case ir.OpMul:
+		apply = func(x, y uint64) uint64 { return x * y }
+	case ir.OpAnd:
+		apply = func(x, y uint64) uint64 { return x & y }
+	case ir.OpOr:
+		apply = func(x, y uint64) uint64 { return x | y }
+	case ir.OpXor:
+		apply = func(x, y uint64) uint64 { return x ^ y }
+	case ir.OpShl:
+		apply = func(x, y uint64) uint64 { return x << (y & 63) }
+	case ir.OpLShr:
+		apply = func(x, y uint64) uint64 { return x >> (y & 63) }
+	case ir.OpAShr:
+		apply = func(x, y uint64) uint64 { return uint64(int64(x) >> (y & 63)) }
+	}
+	// Hot shapes get dedicated closures without the apply call for the
+	// add/mul cases that dominate generated query code.
+	switch {
+	case l.kind == oReg && r.kind == oReg:
+		ls, rs := l.slot, r.slot
+		switch op {
+		case ir.OpAdd:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] + regs[rs] }
+		case ir.OpSub:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] - regs[rs] }
+		case ir.OpMul:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] * regs[rs] }
+		}
+		return func(regs []uint64, fr *frame) uint64 { return apply(regs[ls], regs[rs]) }
+	case l.kind == oReg && r.kind == oImm:
+		ls, c := l.slot, r.imm
+		switch op {
+		case ir.OpAdd:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] + c }
+		case ir.OpSub:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] - c }
+		case ir.OpMul:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] * c }
+		case ir.OpAnd:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] & c }
+		case ir.OpLShr:
+			sh := c & 63
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] >> sh }
+		case ir.OpXor:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] ^ c }
+		}
+		return func(regs []uint64, fr *frame) uint64 { return apply(regs[ls], c) }
+	case l.kind == oImm && r.kind == oReg:
+		c, rs := l.imm, r.slot
+		return func(regs []uint64, fr *frame) uint64 { return apply(c, regs[rs]) }
+	case l.kind == oTree && r.kind == oReg:
+		lf, rs := l.fn, r.slot
+		switch op {
+		case ir.OpAdd:
+			return func(regs []uint64, fr *frame) uint64 { return lf(regs, fr) + regs[rs] }
+		case ir.OpMul:
+			return func(regs []uint64, fr *frame) uint64 { return lf(regs, fr) * regs[rs] }
+		}
+		return func(regs []uint64, fr *frame) uint64 { return apply(lf(regs, fr), regs[rs]) }
+	case l.kind == oReg && r.kind == oTree:
+		ls, rf := l.slot, r.fn
+		switch op {
+		case ir.OpAdd:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] + rf(regs, fr) }
+		case ir.OpMul:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] * rf(regs, fr) }
+		case ir.OpXor:
+			return func(regs []uint64, fr *frame) uint64 { return regs[ls] ^ rf(regs, fr) }
+		}
+		return func(regs []uint64, fr *frame) uint64 { return apply(regs[ls], rf(regs, fr)) }
+	case l.kind == oTree && r.kind == oImm:
+		lf, c := l.fn, r.imm
+		return func(regs []uint64, fr *frame) uint64 { return apply(lf(regs, fr), c) }
+	default:
+		lf, rf := bc.fnOf(l), bc.fnOf(r)
+		return func(regs []uint64, fr *frame) uint64 { return apply(lf(regs, fr), rf(regs, fr)) }
+	}
+}
+
+// icmpNode builds a specialized i64 comparison producing 0/1.
+func (bc *bcompiler) icmpNode(v *ir.Value) valFn {
+	l, r := bc.opnd(v.Args[0]), bc.opnd(v.Args[1])
+	pred := v.Pred
+	cmp := func(x, y uint64) bool { return icmpApply(pred, x, y) }
+	switch {
+	case l.kind == oReg && r.kind == oReg:
+		ls, rs := l.slot, r.slot
+		switch pred {
+		case ir.Eq:
+			return func(regs []uint64, fr *frame) uint64 { return b2u(regs[ls] == regs[rs]) }
+		case ir.SLt:
+			return func(regs []uint64, fr *frame) uint64 {
+				return b2u(int64(regs[ls]) < int64(regs[rs]))
+			}
+		}
+		return func(regs []uint64, fr *frame) uint64 { return b2u(cmp(regs[ls], regs[rs])) }
+	case l.kind == oReg && r.kind == oImm:
+		ls, c := l.slot, r.imm
+		switch pred {
+		case ir.Eq:
+			return func(regs []uint64, fr *frame) uint64 { return b2u(regs[ls] == c) }
+		case ir.SLe:
+			ci := int64(c)
+			return func(regs []uint64, fr *frame) uint64 { return b2u(int64(regs[ls]) <= ci) }
+		case ir.SLt:
+			ci := int64(c)
+			return func(regs []uint64, fr *frame) uint64 { return b2u(int64(regs[ls]) < ci) }
+		case ir.SGe:
+			ci := int64(c)
+			return func(regs []uint64, fr *frame) uint64 { return b2u(int64(regs[ls]) >= ci) }
+		case ir.SGt:
+			ci := int64(c)
+			return func(regs []uint64, fr *frame) uint64 { return b2u(int64(regs[ls]) > ci) }
+		}
+		return func(regs []uint64, fr *frame) uint64 { return b2u(cmp(regs[ls], c)) }
+	case l.kind == oTree && r.kind == oImm:
+		lf, c := l.fn, r.imm
+		return func(regs []uint64, fr *frame) uint64 { return b2u(cmp(lf(regs, fr), c)) }
+	case l.kind == oTree && r.kind == oReg:
+		lf, rs := l.fn, r.slot
+		return func(regs []uint64, fr *frame) uint64 { return b2u(cmp(lf(regs, fr), regs[rs])) }
+	default:
+		lf, rf := bc.fnOf(l), bc.fnOf(r)
+		return func(regs []uint64, fr *frame) uint64 { return b2u(cmp(lf(regs, fr), rf(regs, fr))) }
+	}
+}
+
+func icmpApply(pred ir.Pred, x, y uint64) bool {
+	switch pred {
+	case ir.Eq:
+		return x == y
+	case ir.Ne:
+		return x != y
+	case ir.SLt:
+		return int64(x) < int64(y)
+	case ir.SLe:
+		return int64(x) <= int64(y)
+	case ir.SGt:
+		return int64(x) > int64(y)
+	case ir.SGe:
+		return int64(x) >= int64(y)
+	case ir.ULt:
+		return x < y
+	case ir.ULe:
+		return x <= y
+	case ir.UGt:
+		return x > y
+	default:
+		return x >= y
+	}
+}
+
+// addrParts decomposes a load/store address into (base, idx, scale, disp)
+// when it is a non-materialized GEP, enabling the fused addressing-mode
+// closures below.
+type addrMode struct {
+	// ok: base/idx decomposition valid; otherwise use gen.
+	ok          bool
+	baseImm     uint64
+	baseSlot    int32
+	baseIsImm   bool
+	idxSlot     int32
+	idxImm      uint64
+	idxIsImm    bool
+	scale, disp uint64
+	gen         valFn
+}
+
+func (bc *bcompiler) addr(v *ir.Value) addrMode {
+	if v.IsInstr() && v.Op == ir.OpGEP && !bc.mat[v] {
+		base, idx := bc.opnd(v.Args[0]), bc.opnd(v.Args[1])
+		if base.kind != oTree && idx.kind != oTree {
+			return addrMode{
+				ok:      true,
+				baseImm: base.imm, baseSlot: base.slot, baseIsImm: base.kind == oImm,
+				idxImm: idx.imm, idxSlot: idx.slot, idxIsImm: idx.kind == oImm,
+				scale: v.Lit, disp: uint64(int64(v.Lit2)),
+			}
+		}
+		if base.kind != oTree && idx.kind == oTree {
+			// Hash-table walks: base register plus a computed index.
+			it := idx.fn
+			scale, disp := v.Lit, uint64(int64(v.Lit2))
+			if base.kind == oReg {
+				bs := base.slot
+				return addrMode{gen: func(regs []uint64, fr *frame) uint64 {
+					return regs[bs] + it(regs, fr)*scale + disp
+				}}
+			}
+			bi := base.imm + disp
+			return addrMode{gen: func(regs []uint64, fr *frame) uint64 {
+				return bi + it(regs, fr)*scale
+			}}
+		}
+	}
+	return addrMode{gen: bc.val(v)}
+}
+
+// resolve builds the address-computation closure.
+func (m addrMode) resolve(bc *bcompiler) valFn {
+	if !m.ok {
+		return m.gen
+	}
+	scale, disp := m.scale, m.disp
+	switch {
+	case m.baseIsImm && !m.idxIsImm:
+		base := m.baseImm + disp
+		is := m.idxSlot
+		switch scale {
+		case 1:
+			return func(regs []uint64, fr *frame) uint64 { return base + regs[is] }
+		case 8:
+			return func(regs []uint64, fr *frame) uint64 { return base + regs[is]*8 }
+		case 16:
+			return func(regs []uint64, fr *frame) uint64 { return base + regs[is]*16 }
+		default:
+			return func(regs []uint64, fr *frame) uint64 { return base + regs[is]*scale }
+		}
+	case !m.baseIsImm && m.idxIsImm:
+		bs := m.baseSlot
+		off := m.idxImm*scale + disp
+		return func(regs []uint64, fr *frame) uint64 { return regs[bs] + off }
+	case !m.baseIsImm && !m.idxIsImm:
+		bs, is := m.baseSlot, m.idxSlot
+		switch scale {
+		case 8:
+			return func(regs []uint64, fr *frame) uint64 { return regs[bs] + regs[is]*8 + disp }
+		default:
+			return func(regs []uint64, fr *frame) uint64 { return regs[bs] + regs[is]*scale + disp }
+		}
+	default:
+		c := m.baseImm + m.idxImm*scale + disp
+		return func(regs []uint64, fr *frame) uint64 { return c }
+	}
+}
+
+// loadNode builds a width-specialized load with the address fused in.
+func (bc *bcompiler) loadNode(v *ir.Value) valFn {
+	am := bc.addr(v.Args[0])
+	w := v.Type.Width()
+	// The hottest query pattern: column load at constant base with a
+	// register index.
+	if am.ok && am.baseIsImm && !am.idxIsImm {
+		base := am.baseImm + am.disp
+		is := am.idxSlot
+		scale := am.scale
+		switch w {
+		case 8:
+			switch scale {
+			case 8:
+				return func(regs []uint64, fr *frame) uint64 {
+					return binary.LittleEndian.Uint64(fr.mem.Seg(base + regs[is]*8))
+				}
+			case 16:
+				return func(regs []uint64, fr *frame) uint64 {
+					return binary.LittleEndian.Uint64(fr.mem.Seg(base + regs[is]*16))
+				}
+			default:
+				return func(regs []uint64, fr *frame) uint64 {
+					return binary.LittleEndian.Uint64(fr.mem.Seg(base + regs[is]*scale))
+				}
+			}
+		case 1:
+			return func(regs []uint64, fr *frame) uint64 {
+				return uint64(fr.mem.Seg(base + regs[is]*scale)[0])
+			}
+		}
+	}
+	af := am.resolve(bc)
+	switch w {
+	case 1:
+		return func(regs []uint64, fr *frame) uint64 {
+			return uint64(fr.mem.Seg(af(regs, fr))[0])
+		}
+	case 2:
+		return func(regs []uint64, fr *frame) uint64 {
+			return uint64(binary.LittleEndian.Uint16(fr.mem.Seg(af(regs, fr))))
+		}
+	case 4:
+		return func(regs []uint64, fr *frame) uint64 {
+			return uint64(binary.LittleEndian.Uint32(fr.mem.Seg(af(regs, fr))))
+		}
+	default:
+		return func(regs []uint64, fr *frame) uint64 {
+			return binary.LittleEndian.Uint64(fr.mem.Seg(af(regs, fr)))
+		}
+	}
+}
+
+// storeNode builds a width-specialized store with the address fused in.
+func (bc *bcompiler) storeNode(v *ir.Value) opFn {
+	am := bc.addr(v.Args[0])
+	af := am.resolve(bc)
+	val := bc.opnd(v.Args[1])
+	w := v.Args[1].Type.Width()
+	if w == 8 && val.kind == oReg {
+		vs := val.slot
+		return func(regs []uint64, fr *frame) {
+			binary.LittleEndian.PutUint64(fr.mem.Seg(af(regs, fr)), regs[vs])
+		}
+	}
+	vf := bc.fnOf(val)
+	switch w {
+	case 1:
+		return func(regs []uint64, fr *frame) {
+			fr.mem.Seg(af(regs, fr))[0] = byte(vf(regs, fr))
+		}
+	case 2:
+		return func(regs []uint64, fr *frame) {
+			binary.LittleEndian.PutUint16(fr.mem.Seg(af(regs, fr)), uint16(vf(regs, fr)))
+		}
+	case 4:
+		return func(regs []uint64, fr *frame) {
+			binary.LittleEndian.PutUint32(fr.mem.Seg(af(regs, fr)), uint32(vf(regs, fr)))
+		}
+	default:
+		return func(regs []uint64, fr *frame) {
+			binary.LittleEndian.PutUint64(fr.mem.Seg(af(regs, fr)), vf(regs, fr))
+		}
+	}
+}
+
+// checkedNode builds the throwing fused overflow node with operand shapes.
+func (bc *bcompiler) checkedNode(pair *ir.Value) valFn {
+	l, r := bc.opnd(pair.Args[0]), bc.opnd(pair.Args[1])
+	op := pair.Op
+	if l.kind == oReg && r.kind == oReg {
+		ls, rs := l.slot, r.slot
+		switch op {
+		case ir.OpSAddOvf:
+			return func(regs []uint64, fr *frame) uint64 {
+				x, y := int64(regs[ls]), int64(regs[rs])
+				s := x + y
+				if (x^s)&(y^s) < 0 {
+					rt.Throw(rt.TrapOverflow)
+				}
+				return uint64(s)
+			}
+		case ir.OpSSubOvf:
+			return func(regs []uint64, fr *frame) uint64 {
+				x, y := int64(regs[ls]), int64(regs[rs])
+				s := x - y
+				if (x^y)&(x^s) < 0 {
+					rt.Throw(rt.TrapOverflow)
+				}
+				return uint64(s)
+			}
+		default:
+			return func(regs []uint64, fr *frame) uint64 {
+				v, o := vm.MulOverflow(int64(regs[ls]), int64(regs[rs]))
+				if o {
+					rt.Throw(rt.TrapOverflow)
+				}
+				return uint64(v)
+			}
+		}
+	}
+	lf, rf := bc.fnOf(l), bc.fnOf(r)
+	switch op {
+	case ir.OpSAddOvf:
+		return func(regs []uint64, fr *frame) uint64 {
+			x, y := int64(lf(regs, fr)), int64(rf(regs, fr))
+			s := x + y
+			if (x^s)&(y^s) < 0 {
+				rt.Throw(rt.TrapOverflow)
+			}
+			return uint64(s)
+		}
+	case ir.OpSSubOvf:
+		return func(regs []uint64, fr *frame) uint64 {
+			x, y := int64(lf(regs, fr)), int64(rf(regs, fr))
+			s := x - y
+			if (x^y)&(x^s) < 0 {
+				rt.Throw(rt.TrapOverflow)
+			}
+			return uint64(s)
+		}
+	default:
+		return func(regs []uint64, fr *frame) uint64 {
+			v, o := vm.MulOverflow(int64(lf(regs, fr)), int64(rf(regs, fr)))
+			if o {
+				rt.Throw(rt.TrapOverflow)
+			}
+			return uint64(v)
+		}
+	}
+}
+
+// condBrTerm builds a fused compare-and-branch terminator when the block's
+// condition is a private i64 comparison; returns nil when not applicable.
+func (bc *bcompiler) condBrTerm(b *ir.Block, moves []pmove) termFn {
+	t := b.Term
+	cond := t.Args[0]
+	if !cond.IsInstr() || cond.Op != ir.OpICmp || bc.mat[cond] || cond.Block != b {
+		return nil
+	}
+	then, els := bc.blockIdx[t.Targets[0]], bc.blockIdx[t.Targets[1]]
+	l, r := bc.opnd(cond.Args[0]), bc.opnd(cond.Args[1])
+	pred := cond.Pred
+
+	if len(moves) == 0 && l.kind == oReg {
+		switch {
+		case r.kind == oReg:
+			ls, rs := l.slot, r.slot
+			switch pred {
+			case ir.SLt:
+				return func(regs []uint64, fr *frame) int {
+					if int64(regs[ls]) < int64(regs[rs]) {
+						return then
+					}
+					return els
+				}
+			case ir.Eq:
+				return func(regs []uint64, fr *frame) int {
+					if regs[ls] == regs[rs] {
+						return then
+					}
+					return els
+				}
+			case ir.Ne:
+				return func(regs []uint64, fr *frame) int {
+					if regs[ls] != regs[rs] {
+						return then
+					}
+					return els
+				}
+			}
+			p := pred
+			return func(regs []uint64, fr *frame) int {
+				if icmpApply(p, regs[ls], regs[rs]) {
+					return then
+				}
+				return els
+			}
+		case r.kind == oImm:
+			ls, c := l.slot, r.imm
+			switch pred {
+			case ir.Eq:
+				return func(regs []uint64, fr *frame) int {
+					if regs[ls] == c {
+						return then
+					}
+					return els
+				}
+			case ir.Ne:
+				return func(regs []uint64, fr *frame) int {
+					if regs[ls] != c {
+						return then
+					}
+					return els
+				}
+			case ir.SLe:
+				ci := int64(c)
+				return func(regs []uint64, fr *frame) int {
+					if int64(regs[ls]) <= ci {
+						return then
+					}
+					return els
+				}
+			case ir.SLt:
+				ci := int64(c)
+				return func(regs []uint64, fr *frame) int {
+					if int64(regs[ls]) < ci {
+						return then
+					}
+					return els
+				}
+			}
+			p := pred
+			return func(regs []uint64, fr *frame) int {
+				if icmpApply(p, regs[ls], c) {
+					return then
+				}
+				return els
+			}
+		}
+	}
+	// General fused compare-and-branch with moves.
+	lf, rf := bc.fnOf(l), bc.fnOf(r)
+	p := pred
+	if len(moves) == 0 {
+		return func(regs []uint64, fr *frame) int {
+			if icmpApply(p, lf(regs, fr), rf(regs, fr)) {
+				return then
+			}
+			return els
+		}
+	}
+	mv := moves
+	return func(regs []uint64, fr *frame) int {
+		c := icmpApply(p, lf(regs, fr), rf(regs, fr))
+		runMoves(mv, regs)
+		if c {
+			return then
+		}
+		return els
+	}
+}
+
+// fdivNode and friends keep float math out of the generic fallback.
+func (bc *bcompiler) fbinNode(op ir.Op, v *ir.Value) valFn {
+	l, r := bc.fnOf(bc.opnd(v.Args[0])), bc.fnOf(bc.opnd(v.Args[1]))
+	switch op {
+	case ir.OpFAdd:
+		return func(regs []uint64, fr *frame) uint64 {
+			return math.Float64bits(math.Float64frombits(l(regs, fr)) + math.Float64frombits(r(regs, fr)))
+		}
+	case ir.OpFSub:
+		return func(regs []uint64, fr *frame) uint64 {
+			return math.Float64bits(math.Float64frombits(l(regs, fr)) - math.Float64frombits(r(regs, fr)))
+		}
+	case ir.OpFMul:
+		return func(regs []uint64, fr *frame) uint64 {
+			return math.Float64bits(math.Float64frombits(l(regs, fr)) * math.Float64frombits(r(regs, fr)))
+		}
+	default:
+		return func(regs []uint64, fr *frame) uint64 {
+			return math.Float64bits(math.Float64frombits(l(regs, fr)) / math.Float64frombits(r(regs, fr)))
+		}
+	}
+}
+
+// rootOf builds the closure computing v directly into its register slot,
+// folding the store-to-slot into the hot nodes so a materialized value
+// costs one call instead of wrapper-plus-node.
+func (bc *bcompiler) rootOf(s int32, v *ir.Value) opFn {
+	switch v.Op {
+	case ir.OpLoad:
+		return bc.loadRoot(s, v)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		l, r := bc.opnd(v.Args[0]), bc.opnd(v.Args[1])
+		if l.kind == oReg && r.kind == oReg {
+			ls, rs := l.slot, r.slot
+			switch v.Op {
+			case ir.OpAdd:
+				return func(regs []uint64, fr *frame) { regs[s] = regs[ls] + regs[rs] }
+			case ir.OpSub:
+				return func(regs []uint64, fr *frame) { regs[s] = regs[ls] - regs[rs] }
+			case ir.OpMul:
+				return func(regs []uint64, fr *frame) { regs[s] = regs[ls] * regs[rs] }
+			case ir.OpAnd:
+				return func(regs []uint64, fr *frame) { regs[s] = regs[ls] & regs[rs] }
+			case ir.OpOr:
+				return func(regs []uint64, fr *frame) { regs[s] = regs[ls] | regs[rs] }
+			default:
+				return func(regs []uint64, fr *frame) { regs[s] = regs[ls] ^ regs[rs] }
+			}
+		}
+		if l.kind == oReg && r.kind == oImm && v.Op == ir.OpAdd {
+			ls, c := l.slot, r.imm
+			return func(regs []uint64, fr *frame) { regs[s] = regs[ls] + c }
+		}
+		e := bc.binI64(v.Op, v)
+		return func(regs []uint64, fr *frame) { regs[s] = e(regs, fr) }
+	case ir.OpICmp:
+		e := bc.icmpNode(v)
+		return func(regs []uint64, fr *frame) { regs[s] = e(regs, fr) }
+	default:
+		// Build the computation itself — bc.val would return the register
+		// read for a materialized value (self-reference).
+		e := bc.buildExpr(v)
+		return func(regs []uint64, fr *frame) { regs[s] = e(regs, fr) }
+	}
+}
+
+// loadRoot is loadNode with the destination folded in.
+func (bc *bcompiler) loadRoot(s int32, v *ir.Value) opFn {
+	am := bc.addr(v.Args[0])
+	w := v.Type.Width()
+	if am.ok && am.baseIsImm && !am.idxIsImm {
+		base := am.baseImm + am.disp
+		is := am.idxSlot
+		scale := am.scale
+		switch w {
+		case 8:
+			switch scale {
+			case 8:
+				return func(regs []uint64, fr *frame) {
+					regs[s] = binary.LittleEndian.Uint64(fr.mem.Seg(base + regs[is]*8))
+				}
+			case 16:
+				return func(regs []uint64, fr *frame) {
+					regs[s] = binary.LittleEndian.Uint64(fr.mem.Seg(base + regs[is]*16))
+				}
+			default:
+				return func(regs []uint64, fr *frame) {
+					regs[s] = binary.LittleEndian.Uint64(fr.mem.Seg(base + regs[is]*scale))
+				}
+			}
+		case 1:
+			return func(regs []uint64, fr *frame) {
+				regs[s] = uint64(fr.mem.Seg(base + regs[is]*scale)[0])
+			}
+		}
+	}
+	af := am.resolve(bc)
+	switch w {
+	case 1:
+		return func(regs []uint64, fr *frame) { regs[s] = uint64(fr.mem.Seg(af(regs, fr))[0]) }
+	case 2:
+		return func(regs []uint64, fr *frame) {
+			regs[s] = uint64(binary.LittleEndian.Uint16(fr.mem.Seg(af(regs, fr))))
+		}
+	case 4:
+		return func(regs []uint64, fr *frame) {
+			regs[s] = uint64(binary.LittleEndian.Uint32(fr.mem.Seg(af(regs, fr))))
+		}
+	default:
+		return func(regs []uint64, fr *frame) {
+			regs[s] = binary.LittleEndian.Uint64(fr.mem.Seg(af(regs, fr)))
+		}
+	}
+}

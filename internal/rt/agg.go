@@ -1,0 +1,264 @@
+package rt
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// AggKind identifies an aggregate function for the merge step. The per-
+// tuple update happens in generated code; the runtime only needs enough
+// semantics to combine per-worker hash tables.
+type AggKind uint8
+
+// Aggregate kinds. Sum is an overflow-checked sum of scaled integers,
+// SumF a float sum, Count a counter, Min/Max signed integer extremes.
+const (
+	AggSum AggKind = iota
+	AggSumF
+	AggCount
+	AggMin
+	AggMax
+)
+
+// Init returns the identity bit pattern the aggregate field starts from.
+func (k AggKind) Init() uint64 {
+	switch k {
+	case AggMin:
+		return uint64(math.MaxInt64)
+	case AggMax:
+		return uint64(uint64(1) << 63) // math.MinInt64 bit pattern
+	default:
+		return 0
+	}
+}
+
+// Combine merges src into dst, trapping on sum overflow.
+func (k AggKind) Combine(dst, src uint64) uint64 {
+	switch k {
+	case AggSum, AggCount:
+		r := int64(dst) + int64(src)
+		if k == AggSum && (int64(dst)^r)&(int64(src)^r) < 0 {
+			Throw(TrapOverflow)
+		}
+		return uint64(r)
+	case AggSumF:
+		return math.Float64bits(math.Float64frombits(dst) + math.Float64frombits(src))
+	case AggMin:
+		if int64(src) < int64(dst) {
+			return src
+		}
+		return dst
+	default:
+		if int64(src) > int64(dst) {
+			return src
+		}
+		return dst
+	}
+}
+
+// AggField describes one aggregate slot inside a group entry.
+type AggField struct {
+	Kind AggKind
+	Off  int // byte offset within the entry
+}
+
+// KeyField describes one group-key slot inside a group entry.
+type KeyField struct {
+	Off int
+	Str bool // 16-byte (addr, len) string reference instead of an i64
+}
+
+// Group entry layout: [next u64][hash u64][keys...][aggs...]; codegen
+// assigns the key and aggregate offsets and shares them with the runtime
+// through AggSet.
+const (
+	aggEntryNextOff = 0
+	aggEntryHashOff = 8
+	// AggEntryHeader is the size of the entry header before keys.
+	AggEntryHeader = 16
+)
+
+// AggSet is the per-pipeline set of per-worker aggregation hash tables.
+// Each worker owns one table, so the per-tuple find-or-insert path needs
+// no synchronization; Finalize merges the tables and builds a dense index
+// of group entries for the next pipeline to scan — HyPer's thread-local
+// pre-aggregation scheme.
+type AggSet struct {
+	mem       *Memory
+	EntrySize int
+	Keys      []KeyField
+	Aggs      []AggField
+	// LocalOff is the offset in each worker-local arena where the table
+	// publishes [bucketsAddr u64][mask u64][scalarEntry u64].
+	LocalOff int
+	// Scalar marks a group-by without keys (a single global group).
+	Scalar bool
+
+	hts []*aggHT
+
+	// Results of Finalize.
+	IndexAddr Addr
+	Groups    int
+}
+
+// LocalSlotBytes is the per-table reservation in the worker-local arena.
+const LocalSlotBytes = 24
+
+type aggHT struct {
+	mem         *Memory
+	set         *AggSet
+	buckets     []byte
+	bucketsAddr Addr
+	mask        uint64
+	count       int
+	arena       *Arena
+	localAddr   Addr // worker-local arena base
+}
+
+// NewAggSet creates the per-worker tables and initializes each worker's
+// local-arena slots (bucket base, mask and — for scalar aggregation — the
+// pre-created singleton entry).
+func NewAggSet(mem *Memory, workers int, entrySize int, keys []KeyField,
+	aggs []AggField, localOff int, scalar bool, locals []Addr) *AggSet {
+	s := &AggSet{
+		mem: mem, EntrySize: entrySize, Keys: keys, Aggs: aggs,
+		LocalOff: localOff, Scalar: scalar,
+	}
+	for w := 0; w < workers; w++ {
+		ht := &aggHT{mem: mem, set: s, arena: NewArena(mem), localAddr: locals[w]}
+		ht.grow(64)
+		s.hts = append(s.hts, ht)
+	}
+	if scalar {
+		// Pre-create one properly linked entry per worker so the merge
+		// and the group index see them like any other group.
+		for w := 0; w < workers; w++ {
+			e := s.Insert(w, 0)
+			for _, a := range aggs {
+				mem.Store64(e+Addr(a.Off), a.Kind.Init())
+			}
+			mem.Store64(locals[w]+Addr(localOff)+16, e)
+		}
+	}
+	return s
+}
+
+func (ht *aggHT) grow(nb int) {
+	newBuckets := make([]byte, nb*8)
+	newMask := uint64(nb - 1)
+	if ht.buckets != nil {
+		// Relink every entry by walking the old chains — NOT the arena:
+		// after Finalize starts merging, the table also links entries
+		// that live in other workers' arenas.
+		for b := 0; b < len(ht.buckets); b += 8 {
+			e := leU64(ht.buckets[b:])
+			for e != 0 {
+				next := ht.mem.Load64(e + aggEntryNextOff)
+				h := ht.mem.Load64(e + aggEntryHashOff)
+				idx := (h & newMask) * 8
+				ht.mem.Store64(e+aggEntryNextOff, leU64(newBuckets[idx:]))
+				putU64(newBuckets[idx:], e)
+				e = next
+			}
+		}
+	}
+	ht.buckets = newBuckets
+	ht.bucketsAddr = ht.mem.AddSegment(newBuckets)
+	ht.mask = newMask
+	ht.publish()
+}
+
+func (ht *aggHT) publish() {
+	base := ht.localAddr + Addr(ht.set.LocalOff)
+	ht.mem.Store64(base, ht.bucketsAddr)
+	ht.mem.Store64(base+8, ht.mask)
+}
+
+// Insert allocates, links and returns a new zeroed entry for the given
+// hash on worker w's table, growing the table when it passes 75% fill.
+// Generated code stores the keys and initializes the aggregate slots of
+// the returned entry, then falls through to its normal update path.
+func (s *AggSet) Insert(w int, hash uint64) Addr {
+	ht := s.hts[w]
+	if ht.count*4 >= len(ht.buckets)/8*3 {
+		ht.grow(len(ht.buckets) / 8 * 2)
+	}
+	e := ht.arena.Alloc(s.EntrySize)
+	idx := (hash & ht.mask) * 8
+	s.mem.Store64(e+aggEntryNextOff, leU64(ht.buckets[idx:]))
+	s.mem.Store64(e+aggEntryHashOff, hash)
+	putU64(ht.buckets[idx:], e)
+	ht.count++
+	return e
+}
+
+// keysEqual compares the group keys of two entries.
+func (s *AggSet) keysEqual(a, b Addr) bool {
+	for _, k := range s.Keys {
+		if k.Str {
+			aAddr, aLen := s.mem.Load64(a+Addr(k.Off)), s.mem.Load64(a+Addr(k.Off)+8)
+			bAddr, bLen := s.mem.Load64(b+Addr(k.Off)), s.mem.Load64(b+Addr(k.Off)+8)
+			if aLen != bLen {
+				return false
+			}
+			ab := s.mem.Bytes(aAddr, int(aLen))
+			bb := s.mem.Bytes(bAddr, int(bLen))
+			if string(ab) != string(bb) {
+				return false
+			}
+		} else if s.mem.Load64(a+Addr(k.Off)) != s.mem.Load64(b+Addr(k.Off)) {
+			return false
+		}
+	}
+	return true
+}
+
+// Finalize merges workers 1..n into worker 0's table and builds the dense
+// group index the follow-up pipeline scans. It runs single-threaded
+// between pipelines.
+func (s *AggSet) Finalize() {
+	target := s.hts[0]
+	for _, ht := range s.hts[1:] {
+		ht.arena.Each(s.EntrySize, func(e Addr) {
+			h := s.mem.Load64(e + aggEntryHashOff)
+			// Find in target.
+			idx := (h & target.mask) * 8
+			cur := leU64(target.buckets[idx:])
+			for cur != 0 {
+				if s.mem.Load64(cur+aggEntryHashOff) == h && s.keysEqual(cur, e) {
+					for _, a := range s.Aggs {
+						dst := s.mem.Load64(cur + Addr(a.Off))
+						src := s.mem.Load64(e + Addr(a.Off))
+						s.mem.Store64(cur+Addr(a.Off), a.Kind.Combine(dst, src))
+					}
+					return
+				}
+				cur = s.mem.Load64(cur + aggEntryNextOff)
+			}
+			// Move the entry into the target table.
+			if target.count*4 >= len(target.buckets)/8*3 {
+				target.grow(len(target.buckets) / 8 * 2)
+				idx = (h & target.mask) * 8
+			}
+			s.mem.Store64(e+aggEntryNextOff, leU64(target.buckets[idx:]))
+			putU64(target.buckets[idx:], e)
+			target.count++
+		})
+	}
+	// Entries adopted from other workers still live in their original
+	// arenas, so the dense index walks the bucket chains rather than the
+	// target arena.
+	index := make([]byte, target.count*8)
+	i := 0
+	for b := 0; b < len(target.buckets); b += 8 {
+		for e := leU64(target.buckets[b:]); e != 0; e = s.mem.Load64(e + aggEntryNextOff) {
+			putU64(index[i*8:], e)
+			i++
+		}
+	}
+	s.Groups = target.count
+	s.IndexAddr = s.mem.AddSegment(index)
+}
+
+func leU64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }

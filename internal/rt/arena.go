@@ -1,0 +1,67 @@
+package rt
+
+// arenaChunkSize is the default chunk size for runtime arenas. Chunks are
+// registered as memory segments so generated code can read and write
+// tuples in them directly.
+const arenaChunkSize = 1 << 18
+
+// Arena is a per-worker bump allocator over memory segments. It is not
+// safe for concurrent use — every worker owns its own arena, which is what
+// makes tuple materialization in build pipelines synchronization-free
+// (morsel-driven parallelism, §III-A).
+type Arena struct {
+	mem    *Memory
+	cur    Addr
+	off    int
+	size   int
+	chunks []Addr
+	used   []int
+}
+
+// NewArena returns an empty arena allocating from mem.
+func NewArena(mem *Memory) *Arena { return &Arena{mem: mem} }
+
+// Alloc returns the address of n fresh zeroed bytes.
+func (a *Arena) Alloc(n int) Addr {
+	if a.off+n > a.size {
+		size := arenaChunkSize
+		if n > size {
+			size = n
+		}
+		a.cur = a.mem.Alloc(size)
+		a.size = size
+		a.off = 0
+		a.chunks = append(a.chunks, a.cur)
+		a.used = append(a.used, 0)
+	}
+	addr := a.cur + Addr(a.off)
+	a.off += n
+	a.used[len(a.used)-1] = a.off
+	return addr
+}
+
+// Bytes returns the total bytes allocated.
+func (a *Arena) Bytes() int {
+	total := 0
+	for _, u := range a.used {
+		total += u
+	}
+	return total
+}
+
+// Each calls fn with the address of every stride-sized record allocated in
+// order. Records must all have been allocated with size == stride.
+func (a *Arena) Each(stride int, fn func(addr Addr)) {
+	for i, base := range a.chunks {
+		for off := 0; off+stride <= a.used[i]; off += stride {
+			fn(base + Addr(off))
+		}
+	}
+}
+
+// Reset drops all chunks (their segments remain mapped but unreferenced).
+func (a *Arena) Reset() {
+	a.cur, a.off, a.size = 0, 0, 0
+	a.chunks = a.chunks[:0]
+	a.used = a.used[:0]
+}

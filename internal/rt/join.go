@@ -1,0 +1,75 @@
+package rt
+
+// JoinHT is the chaining hash table used by hash joins, built in the two
+// phases of morsel-driven joins: the build pipeline materializes tuples
+// into per-worker arenas through generated code (layout: [hash u64]
+// [next u64] [payload...]), then Finalize sizes the bucket array and links
+// the chains single-threaded between pipelines. Probing happens entirely
+// in generated code: it reads the bucket head and walks the chain with
+// plain loads, exactly like HyPer's generated probe code.
+type JoinHT struct {
+	mem       *Memory
+	TupleSize int
+	// StateOff is the offset in the shared state arena where Finalize
+	// publishes [bucketsAddr u64][mask u64] for the probe code to load.
+	StateOff int
+
+	arenas []*Arena
+
+	// Results of Finalize.
+	BucketsAddr Addr
+	Mask        uint64
+	Count       int
+}
+
+// NewJoinHT creates a join hash table with one arena per worker.
+func NewJoinHT(mem *Memory, workers, tupleSize, stateOff int) *JoinHT {
+	h := &JoinHT{mem: mem, TupleSize: tupleSize, StateOff: stateOff}
+	for i := 0; i < workers; i++ {
+		h.arenas = append(h.arenas, NewArena(mem))
+	}
+	return h
+}
+
+// Alloc returns space for one build tuple on worker w's arena. Generated
+// code stores the hash at offset 0 and the payload from offset 16; offset
+// 8 (the chain link) is filled by Finalize.
+func (h *JoinHT) Alloc(w int) Addr {
+	return h.arenas[w].Alloc(h.TupleSize)
+}
+
+// Finalize counts the materialized tuples, sizes the bucket array to the
+// next power of two, links all chains, and publishes the bucket base and
+// mask into the state arena at StateOff.
+func (h *JoinHT) Finalize(stateAddr Addr) {
+	total := 0
+	for _, a := range h.arenas {
+		total += a.Bytes() / h.TupleSize
+	}
+	h.Count = total
+	nb := 1
+	for nb < total {
+		nb <<= 1
+	}
+	buckets := make([]byte, nb*8)
+	h.BucketsAddr = h.mem.AddSegment(buckets)
+	h.Mask = uint64(nb - 1)
+	for _, a := range h.arenas {
+		a.Each(h.TupleSize, func(t Addr) {
+			hash := h.mem.Load64(t)
+			idx := (hash & h.Mask) * 8
+			head := leU64(buckets[idx:])
+			h.mem.Store64(t+8, head)
+			putU64(buckets[idx:], t)
+		})
+	}
+	h.mem.Store64(stateAddr+Addr(h.StateOff), h.BucketsAddr)
+	h.mem.Store64(stateAddr+Addr(h.StateOff)+8, h.Mask)
+}
+
+// Tuples calls fn for every build tuple (used by tests and diagnostics).
+func (h *JoinHT) Tuples(fn func(addr Addr)) {
+	for _, a := range h.arenas {
+		a.Each(h.TupleSize, fn)
+	}
+}

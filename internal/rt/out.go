@@ -1,0 +1,42 @@
+package rt
+
+// OutSet is the per-pipeline set of per-worker output buffers. The final
+// pipeline of a query materializes result rows through out_alloc: each row
+// is a fixed-width record the engine decodes after the pipeline finishes.
+// Row order across workers is unspecified, matching SQL semantics for
+// queries without ORDER BY; sorting happens on the decoded rows.
+type OutSet struct {
+	mem     *Memory
+	RowSize int
+	bufs    []*Arena
+}
+
+// NewOutSet creates an output set with one buffer per worker.
+func NewOutSet(mem *Memory, workers, rowSize int) *OutSet {
+	s := &OutSet{mem: mem, RowSize: rowSize}
+	for i := 0; i < workers; i++ {
+		s.bufs = append(s.bufs, NewArena(mem))
+	}
+	return s
+}
+
+// Alloc returns the address of a fresh row for worker w.
+func (s *OutSet) Alloc(w int) Addr {
+	return s.bufs[w].Alloc(s.RowSize)
+}
+
+// Rows returns the total number of rows written.
+func (s *OutSet) Rows() int {
+	total := 0
+	for _, b := range s.bufs {
+		total += b.Bytes() / s.RowSize
+	}
+	return total
+}
+
+// Each calls fn with every row address, worker by worker.
+func (s *OutSet) Each(fn func(addr Addr)) {
+	for _, b := range s.bufs {
+		b.Each(s.RowSize, fn)
+	}
+}

@@ -1,0 +1,550 @@
+package rt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemorySegments(t *testing.T) {
+	m := NewMemory()
+	a := m.Alloc(64)
+	b := m.AddSegment(make([]byte, 32))
+	if a>>SegShift == b>>SegShift {
+		t.Fatal("segments share an id")
+	}
+	m.Store64(a+8, 0xDEADBEEF)
+	if got := m.Load64(a + 8); got != 0xDEADBEEF {
+		t.Errorf("load = %#x", got)
+	}
+	m.Store8(b, 0x7F)
+	if got := m.Load8(b); got != 0x7F {
+		t.Errorf("load8 = %#x", got)
+	}
+	m.Store16(b+2, 0xBEEF)
+	m.Store32(b+4, 0xCAFEBABE)
+	if m.Load16(b+2) != 0xBEEF || m.Load32(b+4) != 0xCAFEBABE {
+		t.Error("narrow round-trips failed")
+	}
+	m.StoreF64(a, 3.25)
+	if m.LoadF64(a) != 3.25 {
+		t.Error("float round-trip failed")
+	}
+}
+
+func TestMemoryNullSegmentFaults(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic dereferencing null")
+		}
+	}()
+	m := NewMemory()
+	m.Load64(0)
+}
+
+func TestMemoryConcurrentAppend(t *testing.T) {
+	m := NewMemory()
+	base := m.Alloc(8)
+	done := make(chan bool)
+	go func() {
+		for i := 0; i < 200; i++ {
+			m.Alloc(128)
+		}
+		done <- true
+	}()
+	for i := 0; i < 10000; i++ {
+		m.Store64(base, uint64(i))
+		if got := m.Load64(base); got != uint64(i) {
+			t.Errorf("read %d, want %d", got, i)
+			break
+		}
+	}
+	<-done
+}
+
+func TestArena(t *testing.T) {
+	m := NewMemory()
+	a := NewArena(m)
+	var addrs []Addr
+	for i := 0; i < 1000; i++ {
+		addr := a.Alloc(24)
+		m.Store64(addr, uint64(i))
+		addrs = append(addrs, addr)
+	}
+	if a.Bytes() != 24000 {
+		t.Errorf("Bytes = %d", a.Bytes())
+	}
+	i := 0
+	a.Each(24, func(addr Addr) {
+		if addr != addrs[i] {
+			t.Fatalf("Each order broken at %d", i)
+		}
+		if m.Load64(addr) != uint64(i) {
+			t.Fatalf("value at %d corrupted", i)
+		}
+		i++
+	})
+	if i != 1000 {
+		t.Errorf("Each visited %d records", i)
+	}
+}
+
+func TestArenaLargeAlloc(t *testing.T) {
+	m := NewMemory()
+	a := NewArena(m)
+	big := a.Alloc(1 << 20) // larger than the chunk size
+	m.Store64(big+(1<<20)-8, 7)
+	if m.Load64(big+(1<<20)-8) != 7 {
+		t.Error("large alloc broken")
+	}
+}
+
+func TestJoinHT(t *testing.T) {
+	m := NewMemory()
+	const tupleSize = 24 // hash, next, key
+	stateAddr := m.Alloc(16)
+	h := NewJoinHT(m, 2, tupleSize, 0)
+	// Insert 100 tuples from two workers; key = i, hash = weak on purpose
+	// to force chains.
+	for i := 0; i < 100; i++ {
+		w := i % 2
+		tup := h.Alloc(w)
+		m.Store64(tup, uint64(i%8)) // hash with many collisions
+		m.Store64(tup+16, uint64(i))
+	}
+	h.Finalize(stateAddr)
+	if h.Count != 100 {
+		t.Fatalf("Count = %d", h.Count)
+	}
+	// The published state must let a probe find every key.
+	buckets := m.Load64(stateAddr)
+	mask := m.Load64(stateAddr + 8)
+	if buckets != h.BucketsAddr || mask != h.Mask {
+		t.Fatal("state publication wrong")
+	}
+	found := make(map[uint64]bool)
+	for hash := uint64(0); hash < 8; hash++ {
+		e := m.Load64(buckets + (hash&mask)*8)
+		for e != 0 {
+			if m.Load64(e) == hash {
+				found[m.Load64(e+16)] = true
+			}
+			e = m.Load64(e + 8)
+		}
+	}
+	if len(found) != 100 {
+		t.Errorf("probe found %d keys, want 100", len(found))
+	}
+}
+
+func TestJoinHTEmpty(t *testing.T) {
+	m := NewMemory()
+	stateAddr := m.Alloc(16)
+	h := NewJoinHT(m, 1, 24, 0)
+	h.Finalize(stateAddr)
+	buckets := m.Load64(stateAddr)
+	mask := m.Load64(stateAddr + 8)
+	if got := m.Load64(buckets + (12345&mask)*8); got != 0 {
+		t.Errorf("empty table bucket head = %#x", got)
+	}
+}
+
+func TestAggSetGroupBy(t *testing.T) {
+	m := NewMemory()
+	q := NewQueryState(m, 2, 16, 64)
+	// Entry: [next][hash][key i64 @16][sum @24][count @32]
+	entrySize := 40
+	keys := []KeyField{{Off: 16}}
+	aggs := []AggField{{Kind: AggSum, Off: 24}, {Kind: AggCount, Off: 32}}
+	id := q.AddAgg(entrySize, keys, aggs, 0, false)
+	set := q.Aggs[id]
+
+	// Simulate generated code: insert/update from two workers.
+	update := func(w int, key, val uint64) {
+		ht := set.hts[w]
+		hash := key*0x9E3779B97F4A7C15 ^ (key >> 7)
+		// walk
+		bAddr := m.Load64(q.Locals[w])
+		mask := m.Load64(q.Locals[w] + 8)
+		e := m.Load64(bAddr + (hash&mask)*8)
+		for e != 0 {
+			if m.Load64(e+8) == hash && m.Load64(e+16) == key {
+				break
+			}
+			e = m.Load64(e)
+		}
+		if e == 0 {
+			e = set.Insert(w, hash)
+			m.Store64(e+16, key)
+			m.Store64(e+24, AggSum.Init())
+			m.Store64(e+32, AggCount.Init())
+		}
+		m.Store64(e+24, m.Load64(e+24)+val)
+		m.Store64(e+32, m.Load64(e+32)+1)
+		_ = ht
+	}
+	// 1000 updates across 10 keys and 2 workers.
+	for i := 0; i < 1000; i++ {
+		update(i%2, uint64(i%10), uint64(i))
+	}
+	set.Finalize()
+	if set.Groups != 10 {
+		t.Fatalf("Groups = %d, want 10", set.Groups)
+	}
+	// Validate sums.
+	wantSum := make(map[uint64]uint64)
+	wantCnt := make(map[uint64]uint64)
+	for i := 0; i < 1000; i++ {
+		wantSum[uint64(i%10)] += uint64(i)
+		wantCnt[uint64(i%10)]++
+	}
+	for i := 0; i < set.Groups; i++ {
+		e := m.Load64(set.IndexAddr + Addr(i*8))
+		key := m.Load64(e + 16)
+		if m.Load64(e+24) != wantSum[key] {
+			t.Errorf("key %d: sum %d, want %d", key, m.Load64(e+24), wantSum[key])
+		}
+		if m.Load64(e+32) != wantCnt[key] {
+			t.Errorf("key %d: count %d, want %d", key, m.Load64(e+32), wantCnt[key])
+		}
+	}
+}
+
+func TestAggSetScalar(t *testing.T) {
+	m := NewMemory()
+	q := NewQueryState(m, 3, 16, 64)
+	entrySize := 32 // [next][hash][sum @16][min @24]
+	aggs := []AggField{{Kind: AggSum, Off: 16}, {Kind: AggMin, Off: 24}}
+	id := q.AddAgg(entrySize, nil, aggs, 0, true)
+	set := q.Aggs[id]
+	for w := 0; w < 3; w++ {
+		e := m.Load64(q.Locals[w] + 16)
+		if e == 0 {
+			t.Fatal("scalar entry not published")
+		}
+		for i := 1; i <= 10; i++ {
+			v := uint64(w*100 + i)
+			m.Store64(e+16, m.Load64(e+16)+v)
+			if int64(v) < int64(m.Load64(e+24)) {
+				m.Store64(e+24, v)
+			}
+		}
+	}
+	set.Finalize()
+	if set.Groups != 1 {
+		t.Fatalf("Groups = %d", set.Groups)
+	}
+	e := m.Load64(set.IndexAddr)
+	wantSum := uint64(0)
+	for w := 0; w < 3; w++ {
+		for i := 1; i <= 10; i++ {
+			wantSum += uint64(w*100 + i)
+		}
+	}
+	if m.Load64(e+16) != wantSum {
+		t.Errorf("sum = %d, want %d", m.Load64(e+16), wantSum)
+	}
+	if m.Load64(e+24) != 1 {
+		t.Errorf("min = %d, want 1", m.Load64(e+24))
+	}
+}
+
+func TestAggCombineOverflowTraps(t *testing.T) {
+	err := CatchTrap(func() {
+		AggSum.Combine(uint64(int64(1)<<62), uint64(int64(1)<<62))
+	})
+	if trap, ok := err.(*Trap); !ok || trap.Code != TrapOverflow {
+		t.Errorf("expected overflow trap, got %v", err)
+	}
+}
+
+func TestOutSet(t *testing.T) {
+	m := NewMemory()
+	s := NewOutSet(m, 2, 16)
+	for i := 0; i < 50; i++ {
+		addr := s.Alloc(i % 2)
+		m.Store64(addr, uint64(i))
+		m.Store64(addr+8, uint64(i*i))
+	}
+	if s.Rows() != 50 {
+		t.Fatalf("Rows = %d", s.Rows())
+	}
+	sum := uint64(0)
+	s.Each(func(addr Addr) { sum += m.Load64(addr) })
+	if sum != 49*50/2 {
+		t.Errorf("sum = %d", sum)
+	}
+}
+
+// likeRef is a simple reference LIKE matcher (O(n*m) dynamic programming)
+// used to property-test the compiled matcher.
+func likeRef(pattern, s string) bool {
+	p, str := []byte(pattern), []byte(s)
+	dp := make([][]bool, len(p)+1)
+	for i := range dp {
+		dp[i] = make([]bool, len(str)+1)
+	}
+	dp[0][0] = true
+	for i := 1; i <= len(p); i++ {
+		if p[i-1] == '%' {
+			dp[i][0] = dp[i-1][0]
+		}
+	}
+	for i := 1; i <= len(p); i++ {
+		for j := 1; j <= len(str); j++ {
+			switch p[i-1] {
+			case '%':
+				dp[i][j] = dp[i-1][j] || dp[i][j-1]
+			case '_':
+				dp[i][j] = dp[i-1][j-1]
+			default:
+				dp[i][j] = dp[i-1][j-1] && p[i-1] == str[j-1]
+			}
+		}
+	}
+	return dp[len(p)][len(str)]
+}
+
+func TestLikeFixedCases(t *testing.T) {
+	cases := []struct {
+		pat, s string
+		want   bool
+	}{
+		{"PROMO%", "PROMO BURNISHED", true},
+		{"PROMO%", "STANDARD", false},
+		{"%green%", "dark green metallic", true},
+		{"%green%", "forest chartreuse", false},
+		{"%BRASS", "SMALL PLATED BRASS", true},
+		{"%BRASS", "BRASS POLISHED", false},
+		{"forest%", "forest green", true},
+		{"a_c", "abc", true},
+		{"a_c", "abbc", false},
+		{"a%b%c", "aXbYc", true},
+		{"a%b%c", "acb", false},
+		{"%", "", true},
+		{"%", "anything", true},
+		{"", "", true},
+		{"", "x", false},
+		{"abc", "abc", true},
+		{"abc", "abd", false},
+		{"_", "x", true},
+		{"_", "", false},
+		{"_%", "x", true},
+		{"%_", "", false},
+	}
+	for _, c := range cases {
+		p := CompileLike(c.pat)
+		if got := p.Match([]byte(c.s)); got != c.want {
+			t.Errorf("LIKE %q on %q = %v, want %v", c.pat, c.s, got, c.want)
+		}
+		if ref := likeRef(c.pat, c.s); ref != c.want {
+			t.Errorf("reference matcher disagrees on %q/%q", c.pat, c.s)
+		}
+	}
+}
+
+func TestLikeProperty(t *testing.T) {
+	alphabet := []byte("ab%_")
+	strAlpha := []byte("ab")
+	rng := rand.New(rand.NewSource(1))
+	gen := func(n int, alpha []byte) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alpha[rng.Intn(len(alpha))]
+		}
+		return string(b)
+	}
+	check := func() bool {
+		pat := gen(rng.Intn(8), alphabet)
+		s := gen(rng.Intn(10), strAlpha)
+		p := CompileLike(pat)
+		got := p.Match([]byte(s))
+		want := likeRef(pat, s)
+		if got != want {
+			t.Logf("LIKE %q on %q: got %v, want %v", pat, s, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrHash(t *testing.T) {
+	a := StrHash([]byte("hello"))
+	b := StrHash([]byte("hello"))
+	c := StrHash([]byte("world"))
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	if a == c {
+		t.Error("suspicious collision")
+	}
+}
+
+func TestYearOfDays(t *testing.T) {
+	cases := []struct {
+		date string
+		year int64
+	}{
+		{"1970-01-01", 1970},
+		{"1992-01-01", 1992},
+		{"1995-12-31", 1995},
+		{"1996-01-01", 1996},
+		{"1998-12-01", 1998},
+		{"2000-02-29", 2000},
+		{"1969-12-31", 1969},
+	}
+	for _, c := range cases {
+		days := mustDays(c.date)
+		if got := YearOfDays(days); got != c.year {
+			t.Errorf("YearOfDays(%s=%d) = %d, want %d", c.date, days, got, c.year)
+		}
+	}
+}
+
+func mustDays(s string) int64 {
+	var y, mo, d int
+	if _, err := sscanfDate(s, &y, &mo, &d); err != nil {
+		panic(err)
+	}
+	// days since epoch via Zeller-free arithmetic: reuse the inverse of
+	// yearOfDays' algorithm.
+	yy := int64(y)
+	m := int64(mo)
+	if m <= 2 {
+		yy--
+		m += 12
+	}
+	era := yy / 400
+	if yy < 0 {
+		era = (yy - 399) / 400
+	}
+	yoe := yy - era*400
+	doy := (153*(m-3)+2)/5 + int64(d) - 1
+	doe := yoe*365 + yoe/4 - yoe/100 + doy
+	return era*146097 + doe - 719468
+}
+
+func sscanfDate(s string, y, m, d *int) (int, error) {
+	n := 0
+	parse := func(str string) int {
+		v := 0
+		for _, c := range str {
+			v = v*10 + int(c-'0')
+		}
+		return v
+	}
+	*y, *m, *d = parse(s[0:4]), parse(s[5:7]), parse(s[8:10])
+	n = 3
+	return n, nil
+}
+
+func TestRegistryBindMissing(t *testing.T) {
+	r := NewRegistry()
+	r.Register("a", func(ctx *Ctx, args []uint64) uint64 { return 0 })
+	if _, err := r.Bind([]string{"a", "missing"}); err == nil {
+		t.Fatal("expected bind error")
+	}
+	fns, err := r.Bind([]string{"a"})
+	if err != nil || len(fns) != 1 {
+		t.Fatalf("bind: %v", err)
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	r := NewRegistry()
+	RegisterBuiltins(r)
+	mem := NewMemory()
+	q := NewQueryState(mem, 1, 16, 32)
+	data := []byte("hello world")
+	base := mem.AddSegment(data)
+	pid := q.AddPattern("%world%")
+	fns, err := r.Bind([]string{"str_like", "str_eq", "str_hash", "date_year"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &Ctx{Mem: mem, Funcs: fns, Query: q}
+	if got := fns[0](ctx, []uint64{uint64(pid), base, 11}); got != 1 {
+		t.Error("str_like failed")
+	}
+	if got := fns[1](ctx, []uint64{base, 5, base, 5}); got != 1 {
+		t.Error("str_eq failed on equal strings")
+	}
+	if got := fns[1](ctx, []uint64{base, 5, base + 6, 5}); got != 0 {
+		t.Error("str_eq matched different strings")
+	}
+	if fns[2](ctx, []uint64{base, 5}) != StrHash([]byte("hello")) {
+		t.Error("str_hash mismatch")
+	}
+	days := uint64(9497) // 1996-01-01
+	if got := fns[3](ctx, []uint64{days}); got != 1996 {
+		t.Errorf("date_year = %d", got)
+	}
+}
+
+func TestPushPopRegs(t *testing.T) {
+	ctx := &Ctx{}
+	a := ctx.PushRegs(4)
+	a[0] = 42
+	b := ctx.PushRegs(8)
+	b[0] = 7
+	if a[0] != 42 {
+		t.Error("outer frame clobbered by nested frame")
+	}
+	ctx.PopRegs()
+	ctx.PopRegs()
+	c := ctx.PushRegs(4)
+	if &c[0] != &a[0] {
+		t.Error("frame buffer not reused")
+	}
+	ctx.ResetRegs()
+}
+
+// TestAggSetMergeWithGrowth is the regression test for a real bug: when
+// Finalize merges worker tables and the target grows mid-merge, entries
+// adopted from other workers' arenas must survive the relink (growth walks
+// the bucket chains, not the arena).
+func TestAggSetMergeWithGrowth(t *testing.T) {
+	m := NewMemory()
+	const workers = 3
+	q := NewQueryState(m, workers, 16, 64)
+	entrySize := 32 // [next][hash][key @16][count @24]
+	keys := []KeyField{{Off: 16}}
+	aggs := []AggField{{Kind: AggCount, Off: 24}}
+	id := q.AddAgg(entrySize, keys, aggs, 0, false)
+	set := q.Aggs[id]
+
+	// Enough disjoint keys per worker that the merge forces several
+	// growth rounds of worker 0's table (initial capacity 64).
+	const perWorker = 400
+	for w := 0; w < workers; w++ {
+		for k := 0; k < perWorker; k++ {
+			key := uint64(w*perWorker + k)
+			hash := key*0x9E3779B97F4A7C15 ^ (key >> 13)
+			e := set.Insert(w, hash)
+			m.Store64(e+16, key)
+			m.Store64(e+24, 1)
+		}
+	}
+	set.Finalize()
+	if set.Groups != workers*perWorker {
+		t.Fatalf("Groups = %d, want %d", set.Groups, workers*perWorker)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < set.Groups; i++ {
+		e := m.Load64(set.IndexAddr + Addr(i*8))
+		if e == 0 {
+			t.Fatalf("index slot %d is null (lost entry)", i)
+		}
+		key := m.Load64(e + 16)
+		if seen[key] {
+			t.Fatalf("key %d duplicated in index", key)
+		}
+		seen[key] = true
+		if m.Load64(e+24) != 1 {
+			t.Errorf("key %d count %d", key, m.Load64(e+24))
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package rt
+
+import "strings"
+
+// LikePattern is a compiled SQL LIKE pattern. '%' matches any run of
+// characters, '_' any single character. Patterns are compiled once per
+// query at code generation time and referenced from generated code by
+// index, which keeps the per-tuple cost to the match itself.
+type LikePattern struct {
+	raw  string
+	segs []segment
+	// leading/trailing report whether the pattern starts/ends with '%'.
+	leadingPct  bool
+	trailingPct bool
+	// fast paths
+	exact    string // no wildcards at all
+	contains string // single %s% segment without '_'
+}
+
+type segment struct {
+	text    string
+	anyMask []bool // true where '_' appears
+}
+
+// CompileLike compiles a LIKE pattern.
+func CompileLike(pattern string) *LikePattern {
+	p := &LikePattern{raw: pattern}
+	parts := strings.Split(pattern, "%")
+	p.leadingPct = strings.HasPrefix(pattern, "%")
+	p.trailingPct = strings.HasSuffix(pattern, "%")
+	for _, part := range parts {
+		if part == "" {
+			continue
+		}
+		seg := segment{text: part}
+		if strings.ContainsRune(part, '_') {
+			seg.anyMask = make([]bool, len(part))
+			b := []byte(part)
+			for i, c := range b {
+				if c == '_' {
+					seg.anyMask[i] = true
+					b[i] = 0
+				}
+			}
+			seg.text = string(b)
+		}
+		p.segs = append(p.segs, seg)
+	}
+	if !strings.ContainsAny(pattern, "%_") {
+		p.exact = pattern
+	} else if p.leadingPct && p.trailingPct && len(p.segs) == 1 && p.segs[0].anyMask == nil {
+		p.contains = p.segs[0].text
+	}
+	return p
+}
+
+// String returns the original pattern.
+func (p *LikePattern) String() string { return p.raw }
+
+// matchSegAt reports whether seg matches s exactly at position i.
+func matchSegAt(seg *segment, s []byte, i int) bool {
+	if i+len(seg.text) > len(s) {
+		return false
+	}
+	if seg.anyMask == nil {
+		return string(s[i:i+len(seg.text)]) == seg.text
+	}
+	for j := 0; j < len(seg.text); j++ {
+		if !seg.anyMask[j] && s[i+j] != seg.text[j] {
+			return false
+		}
+	}
+	return true
+}
+
+// findSeg returns the first position >= from where seg matches, or -1.
+func findSeg(seg *segment, s []byte, from int) int {
+	if seg.anyMask == nil {
+		idx := strings.Index(string(s[from:]), seg.text)
+		if idx < 0 {
+			return -1
+		}
+		return from + idx
+	}
+	for i := from; i+len(seg.text) <= len(s); i++ {
+		if matchSegAt(seg, s, i) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Match reports whether s matches the pattern: the first segment is
+// anchored at the start unless the pattern begins with '%', the last is
+// anchored at the end unless it ends with '%', and the segments in between
+// match greedily left to right.
+func (p *LikePattern) Match(s []byte) bool {
+	if !strings.ContainsAny(p.raw, "%_") {
+		return string(s) == p.exact
+	}
+	if p.contains != "" {
+		return strings.Contains(string(s), p.contains)
+	}
+	if len(p.segs) == 0 {
+		// "%", "%%", ...: any string; the empty pattern matches only "".
+		return p.leadingPct || len(s) == 0
+	}
+	pos := 0
+	k := 0
+	if !p.leadingPct {
+		if !matchSegAt(&p.segs[0], s, 0) {
+			return false
+		}
+		pos = len(p.segs[0].text)
+		k = 1
+	}
+	for ; k < len(p.segs); k++ {
+		last := k == len(p.segs)-1
+		if last && !p.trailingPct {
+			j := len(s) - len(p.segs[k].text)
+			return j >= pos && matchSegAt(&p.segs[k], s, j)
+		}
+		at := findSeg(&p.segs[k], s, pos)
+		if at < 0 {
+			return false
+		}
+		pos = at + len(p.segs[k].text)
+	}
+	if !p.trailingPct {
+		// Only reachable when the anchored first segment was also the
+		// last one: the whole string must be consumed.
+		return pos == len(s)
+	}
+	return true
+}
+
+// StrHash returns a 64-bit FNV-1a hash of the bytes, finalized with a
+// 64-bit mix so it composes well with the generated integer key hashing.
+func StrHash(b []byte) uint64 {
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	h ^= h >> 32
+	h *= 0xd6e8feb86659fd93
+	h ^= h >> 32
+	return h
+}

@@ -1,0 +1,145 @@
+// Package sql is a small SQL front end for the engine: a lexer, a
+// recursive-descent parser and a planner covering the SELECT subset the
+// examples and the CLI need — multi-table FROM with equi-join extraction,
+// WHERE, GROUP BY with the standard aggregates, ORDER BY and LIMIT. It
+// provides the "Parser"/"Semantic Analysis"/"Planning" stages of the
+// paper's Fig. 1 whose (tiny) cost Table I reports.
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind int
+
+const (
+	tkEOF tokKind = iota
+	tkIdent
+	tkNumber
+	tkString
+	tkOp      // punctuation and operators
+	tkKeyword // normalized upper-case keyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "AS": true, "AND": true, "OR": true,
+	"NOT": true, "LIKE": true, "IN": true, "BETWEEN": true, "CASE": true,
+	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "ASC": true,
+	"DESC": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
+	"MAX": true, "DATE": true, "YEAR": true, "SUBSTR": true, "HAVING": true,
+	"DISTINCT": true, "INTERVAL": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '\'':
+			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case isIdentStart(c):
+			l.ident()
+		default:
+			if err := l.op(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tkEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdent(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	for l.pos < len(l.src) && ((l.src[l.pos] >= '0' && l.src[l.pos] <= '9') || l.src[l.pos] == '.') {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tkNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) str() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		if l.src[l.pos] == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tkString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(l.src[l.pos])
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tkKeyword, text: up, pos: start})
+	} else {
+		l.toks = append(l.toks, token{kind: tkIdent, text: strings.ToLower(text), pos: start})
+	}
+}
+
+func (l *lexer) op() error {
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		if two == "!=" {
+			two = "<>"
+		}
+		l.toks = append(l.toks, token{kind: tkOp, text: two, pos: l.pos})
+		l.pos += 2
+		return nil
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', '=', '<', '>', '+', '-', '*', '/', '.':
+		l.toks = append(l.toks, token{kind: tkOp, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

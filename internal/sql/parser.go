@@ -1,0 +1,550 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AST node kinds (untyped; binding happens in the planner).
+type node interface{}
+
+type nIdent struct{ name string }
+type nNum struct{ text string }
+type nStr struct{ s string }
+type nDate struct{ s string }
+type nBin struct {
+	op   string // + - * / = <> < <= > >= AND OR
+	l, r node
+}
+type nNot struct{ arg node }
+type nLike struct {
+	arg node
+	pat string
+	neg bool
+}
+type nIn struct {
+	arg  node
+	list []node
+}
+type nBetween struct{ arg, lo, hi node }
+type nCase struct {
+	whens []nWhen
+	els   node
+}
+type nWhen struct{ cond, then node }
+type nCall struct {
+	name string
+	args []node
+}
+
+type selItem struct {
+	agg   string // "", "count", "count*", "sum", "avg", "min", "max"
+	arg   node   // nil for count(*)
+	alias string
+}
+
+type orderItem struct {
+	e    node
+	desc bool
+}
+
+type ast struct {
+	sel   []selItem
+	from  []string
+	where node
+	group []node
+	order []orderItem
+	limit int
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func parse(src string) (*ast, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	a, err := p.query()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return a, nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.cur().kind == tkEOF }
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.cur().pos)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if p.cur().kind == tkKeyword && p.cur().text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if p.cur().kind == tkOp && p.cur().text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	if p.cur().kind != tkIdent {
+		return "", p.errf("expected identifier, found %q", p.cur().text)
+	}
+	s := p.cur().text
+	p.pos++
+	return s, nil
+}
+
+func (p *parser) query() (*ast, error) {
+	a := &ast{limit: -1}
+	if err := p.expectKw("SELECT"); err != nil {
+		return nil, err
+	}
+	for {
+		item, err := p.selItem()
+		if err != nil {
+			return nil, err
+		}
+		a.sel = append(a.sel, item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		t, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		a.from = append(a.from, t)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	if p.acceptKw("WHERE") {
+		w, err := p.orExpr()
+		if err != nil {
+			return nil, err
+		}
+		a.where = w
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			a.group = append(a.group, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.cur().kind == tkKeyword && p.cur().text == "HAVING" {
+		return nil, p.errf("HAVING is not supported; filter a subquery stage instead")
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := orderItem{e: e}
+			if p.acceptKw("DESC") {
+				item.desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			a.order = append(a.order, item)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		if p.cur().kind != tkNumber {
+			return nil, p.errf("expected LIMIT count")
+		}
+		n := 0
+		fmt.Sscanf(p.cur().text, "%d", &n)
+		a.limit = n
+		p.pos++
+	}
+	return a, nil
+}
+
+var aggKws = map[string]string{
+	"COUNT": "count", "SUM": "sum", "AVG": "avg", "MIN": "min", "MAX": "max",
+}
+
+func (p *parser) selItem() (selItem, error) {
+	var item selItem
+	if p.cur().kind == tkKeyword {
+		if agg, ok := aggKws[p.cur().text]; ok {
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return item, err
+			}
+			if agg == "count" && p.acceptOp("*") {
+				item.agg = "count*"
+			} else {
+				arg, err := p.addExpr()
+				if err != nil {
+					return item, err
+				}
+				item.agg = agg
+				item.arg = arg
+			}
+			if err := p.expectOp(")"); err != nil {
+				return item, err
+			}
+			item.alias = item.agg
+			if err := p.maybeAlias(&item); err != nil {
+				return item, err
+			}
+			return item, nil
+		}
+	}
+	e, err := p.addExpr()
+	if err != nil {
+		return item, err
+	}
+	item.arg = e
+	if id, ok := e.(nIdent); ok {
+		item.alias = id.name
+	} else {
+		item.alias = "expr"
+	}
+	if err := p.maybeAlias(&item); err != nil {
+		return item, err
+	}
+	return item, nil
+}
+
+func (p *parser) maybeAlias(item *selItem) error {
+	if p.acceptKw("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return err
+		}
+		item.alias = a
+	}
+	return nil
+}
+
+// Expression grammar: OR > AND > NOT > comparison > additive >
+// multiplicative > primary.
+
+func (p *parser) orExpr() (node, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = nBin{op: "OR", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (node, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = nBin{op: "AND", l: l, r: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (node, error) {
+	if p.acceptKw("NOT") {
+		arg, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return nNot{arg: arg}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (node, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.cur().kind == tkOp {
+		switch op := p.cur().text; op {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			return nBin{op: op, l: l, r: r}, nil
+		}
+	}
+	neg := false
+	if p.cur().kind == tkKeyword && p.cur().text == "NOT" {
+		// NOT LIKE / NOT IN / NOT BETWEEN
+		save := p.pos
+		p.pos++
+		switch p.cur().text {
+		case "LIKE", "IN", "BETWEEN":
+			neg = true
+		default:
+			p.pos = save
+			return l, nil
+		}
+	}
+	switch {
+	case p.acceptKw("LIKE"):
+		if p.cur().kind != tkString {
+			return nil, p.errf("LIKE expects a string pattern")
+		}
+		pat := p.cur().text
+		p.pos++
+		return nLike{arg: l, pat: pat, neg: neg}, nil
+	case p.acceptKw("IN"):
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var list []node
+		for {
+			e, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		var out node = nIn{arg: l, list: list}
+		if neg {
+			out = nNot{arg: out}
+		}
+		return out, nil
+	case p.acceptKw("BETWEEN"):
+		lo, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		var out node = nBetween{arg: l, lo: lo, hi: hi}
+		if neg {
+			out = nNot{arg: out}
+		}
+		return out, nil
+	}
+	return l, nil
+}
+
+func (p *parser) addExpr() (node, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("+"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = nBin{op: "+", l: l, r: r}
+		case p.acceptOp("-"):
+			r, err := p.mulExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = nBin{op: "-", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) mulExpr() (node, error) {
+	l, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptOp("*"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = nBin{op: "*", l: l, r: r}
+		case p.acceptOp("/"):
+			r, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			l = nBin{op: "/", l: l, r: r}
+		default:
+			return l, nil
+		}
+	}
+}
+
+func (p *parser) primary() (node, error) {
+	t := p.cur()
+	switch t.kind {
+	case tkNumber:
+		p.pos++
+		return nNum{text: t.text}, nil
+	case tkString:
+		p.pos++
+		return nStr{s: t.text}, nil
+	case tkIdent:
+		p.pos++
+		name := t.text
+		if p.acceptOp(".") {
+			// qualified name: table.col — resolved by the unqualified
+			// column name (TPC-H column names are globally unique).
+			colName, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			name = colName
+		}
+		return nIdent{name: name}, nil
+	case tkKeyword:
+		switch t.text {
+		case "DATE":
+			p.pos++
+			if p.cur().kind != tkString {
+				return nil, p.errf("DATE expects a 'YYYY-MM-DD' string")
+			}
+			s := p.cur().text
+			p.pos++
+			return nDate{s: s}, nil
+		case "YEAR", "SUBSTR":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			var args []node
+			for {
+				e, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, e)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return nCall{name: strings.ToLower(t.text), args: args}, nil
+		case "CASE":
+			p.pos++
+			var c nCase
+			for p.acceptKw("WHEN") {
+				cond, err := p.orExpr()
+				if err != nil {
+					return nil, err
+				}
+				if err := p.expectKw("THEN"); err != nil {
+					return nil, err
+				}
+				then, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.whens = append(c.whens, nWhen{cond: cond, then: then})
+			}
+			if p.acceptKw("ELSE") {
+				els, err := p.addExpr()
+				if err != nil {
+					return nil, err
+				}
+				c.els = els
+			}
+			if err := p.expectKw("END"); err != nil {
+				return nil, err
+			}
+			return c, nil
+		}
+	case tkOp:
+		if t.text == "(" {
+			p.pos++
+			e, err := p.orExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.text == "-" {
+			p.pos++
+			e, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			return nBin{op: "-", l: nNum{text: "0"}, r: e}, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q", t.text)
+}

@@ -1,0 +1,688 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+	"aqe/internal/storage"
+)
+
+// Plan parses and plans a SQL query against the catalog: it binds names,
+// pushes single-table predicates into the scans, extracts equi-join
+// conditions to build a left-deep hash-join tree in FROM order, applies
+// remaining predicates as residual filters, and lowers aggregation,
+// ordering and limits.
+func Plan(query string, cat *storage.Catalog) (plan.Node, error) {
+	a, err := parse(query)
+	if err != nil {
+		return nil, err
+	}
+	b := &binder{cat: cat}
+	return b.plan(a)
+}
+
+type binder struct {
+	cat    *storage.Catalog
+	tables []*storage.Table
+	// needed columns per table, discovered by the AST walk.
+	needed []map[string]bool
+	// schema of the joined row, set once scans are planned.
+	schema []plan.ColDef
+	colIdx map[string]int
+}
+
+func (b *binder) plan(a *ast) (plan.Node, error) {
+	for _, name := range a.from {
+		t := b.cat.Table(name)
+		if t == nil {
+			return nil, fmt.Errorf("sql: unknown table %q", name)
+		}
+		b.tables = append(b.tables, t)
+		b.needed = append(b.needed, map[string]bool{})
+	}
+
+	// Discover referenced columns.
+	var walkErr error
+	walk := func(n node) {
+		if n == nil || walkErr != nil {
+			return
+		}
+		walkErr = b.collect(n)
+	}
+	for _, s := range a.sel {
+		walk(s.arg)
+	}
+	walk(a.where)
+	for _, g := range a.group {
+		walk(g)
+	}
+	if walkErr != nil {
+		return nil, walkErr
+	}
+	// ORDER BY binds against the SELECT output (columns or aliases), so
+	// it contributes no additional scan columns.
+
+	// Split WHERE into conjuncts and classify them.
+	conjs := conjuncts(a.where)
+	scanFilters := make([][]node, len(b.tables))
+	type equi struct{ lt, lc, rt int } // left table/col index, right table
+	type joinCond struct {
+		lt int
+		lc string
+		rt int
+		rc string
+	}
+	var joins []joinCond
+	var residual []node
+	for _, c := range conjs {
+		ts := b.tablesOf(c)
+		switch len(ts) {
+		case 0, 1:
+			ti := 0
+			if len(ts) == 1 {
+				ti = ts[0]
+			}
+			scanFilters[ti] = append(scanFilters[ti], c)
+		case 2:
+			if jc, ok := b.asEquiJoin(c); ok {
+				joins = append(joins, joinCond{jc[0].(int), jc[1].(string),
+					jc[2].(int), jc[3].(string)})
+				continue
+			}
+			residual = append(residual, c)
+		default:
+			residual = append(residual, c)
+		}
+	}
+	// Join conditions reference columns; make sure they are scanned.
+	for _, j := range joins {
+		b.needed[j.lt][j.lc] = true
+		b.needed[j.rt][j.rc] = true
+	}
+
+	// Build scans: each table scans its needed columns.
+	scans := make([]*plan.Scan, len(b.tables))
+	for i, t := range b.tables {
+		var cols []string
+		for _, c := range t.Cols {
+			if b.needed[i][c.Name] {
+				cols = append(cols, c.Name)
+			}
+		}
+		if len(cols) == 0 {
+			cols = []string{t.Cols[0].Name} // degenerate: count(*) style
+		}
+		scans[i] = plan.NewScan(t, cols...)
+	}
+
+	// Push single-table filters (bound against the scan's schema).
+	for i, fs := range scanFilters {
+		for _, f := range fs {
+			e, err := b.bind(f, scans[i].Schema(), nil)
+			if err != nil {
+				return nil, err
+			}
+			scans[i].Where(e)
+		}
+	}
+
+	// Left-deep joins in FROM order. Track the mapping from (table, col)
+	// to position in the current combined schema.
+	var root plan.Node = scans[0]
+	inPlan := map[int]bool{0: true}
+	for next := 1; next < len(b.tables); next++ {
+		var pk, bk []expr.Expr
+		for _, j := range joins {
+			var inT, newT int
+			var inC, newC string
+			switch {
+			case inPlan[j.lt] && j.rt == next:
+				inT, inC, newT, newC = j.lt, j.lc, j.rt, j.rc
+			case inPlan[j.rt] && j.lt == next:
+				inT, inC, newT, newC = j.rt, j.rc, j.lt, j.lc
+			default:
+				continue
+			}
+			_ = inT
+			_ = newT
+			pk = append(pk, plan.C(root.Schema(), inC))
+			bk = append(bk, plan.C(scans[next].Schema(), newC))
+		}
+		if len(pk) == 0 {
+			return nil, fmt.Errorf("sql: no join condition connects table %q; cross joins are not supported",
+				b.tables[next].Name)
+		}
+		// Build on the new table, stream the accumulated plan; carry all
+		// of the new table's scanned columns as payload.
+		var payload []string
+		for _, c := range scans[next].Schema() {
+			payload = append(payload, c.Name)
+		}
+		root = plan.NewJoin(plan.Inner, scans[next], root, bk, pk, payload)
+		inPlan[next] = true
+	}
+	b.schema = root.Schema()
+	b.colIdx = map[string]int{}
+	for i, c := range b.schema {
+		b.colIdx[c.Name] = i
+	}
+
+	// Residual predicates.
+	for _, r := range residual {
+		e, err := b.bind(r, b.schema, nil)
+		if err != nil {
+			return nil, err
+		}
+		root = plan.NewFilter(root, e)
+	}
+
+	// Aggregation or plain projection.
+	hasAgg := len(a.group) > 0
+	for _, s := range a.sel {
+		if s.agg != "" {
+			hasAgg = true
+		}
+	}
+	var outNames []string
+	if hasAgg {
+		var keys []expr.Expr
+		var keyNames []string
+		keyOf := map[string]int{}
+		for i, g := range a.group {
+			e, err := b.bind(g, b.schema, nil)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, e)
+			name := fmt.Sprintf("k%d", i)
+			if id, ok := g.(nIdent); ok {
+				name = id.name
+			}
+			keyNames = append(keyNames, name)
+			keyOf[nodeKey(g)] = i
+		}
+		var aggs []plan.AggExpr
+		type outRef struct {
+			isKey bool
+			idx   int
+		}
+		var outs []outRef
+		for _, s := range a.sel {
+			if s.agg == "" {
+				ki, ok := keyOf[nodeKey(s.arg)]
+				if !ok {
+					return nil, fmt.Errorf("sql: %q must appear in GROUP BY", s.alias)
+				}
+				outs = append(outs, outRef{isKey: true, idx: ki})
+				outNames = append(outNames, s.alias)
+				continue
+			}
+			var fn plan.AggFunc
+			switch s.agg {
+			case "count*":
+				fn = plan.CountStar
+			case "count":
+				fn = plan.Count
+			case "sum":
+				fn = plan.Sum
+			case "avg":
+				fn = plan.Avg
+			case "min":
+				fn = plan.Min
+			case "max":
+				fn = plan.Max
+			}
+			var arg expr.Expr
+			if s.arg != nil {
+				var err error
+				arg, err = b.bind(s.arg, b.schema, nil)
+				if err != nil {
+					return nil, err
+				}
+			}
+			outs = append(outs, outRef{idx: len(aggs)})
+			aggs = append(aggs, plan.AggExpr{Func: fn, Arg: arg, Name: s.alias})
+			outNames = append(outNames, s.alias)
+		}
+		g := plan.NewGroupBy(root, keys, keyNames, aggs)
+		gs := g.Schema()
+		// Project the SELECT order.
+		var exprs []expr.Expr
+		for _, o := range outs {
+			if o.isKey {
+				exprs = append(exprs, expr.Col(o.idx, gs[o.idx].T))
+			} else {
+				exprs = append(exprs, expr.Col(len(keys)+o.idx, gs[len(keys)+o.idx].T))
+			}
+		}
+		root = plan.NewProject(g, exprs, outNames)
+	} else {
+		var exprs []expr.Expr
+		for _, s := range a.sel {
+			e, err := b.bind(s.arg, b.schema, nil)
+			if err != nil {
+				return nil, err
+			}
+			exprs = append(exprs, e)
+			outNames = append(outNames, s.alias)
+		}
+		root = plan.NewProject(root, exprs, outNames)
+	}
+
+	// ORDER BY binds against the output schema.
+	if len(a.order) > 0 || a.limit >= 0 {
+		var keys []plan.SortKey
+		for _, o := range a.order {
+			e, err := b.bind(o.e, root.Schema(), outNames)
+			if err != nil {
+				return nil, err
+			}
+			keys = append(keys, plan.SortKey{E: e, Desc: o.desc})
+		}
+		root = plan.NewOrderBy(root, keys, a.limit)
+	}
+	return root, nil
+}
+
+// nodeKey renders an AST node for structural comparison (GROUP BY vs
+// SELECT items).
+func nodeKey(n node) string { return fmt.Sprintf("%#v", n) }
+
+// collect records which table every identifier belongs to.
+func (b *binder) collect(n node) error {
+	switch x := n.(type) {
+	case nIdent:
+		ti, _, err := b.resolve(x.name)
+		if err != nil {
+			return err
+		}
+		b.needed[ti][x.name] = true
+	case nBin:
+		if err := b.collect(x.l); err != nil {
+			return err
+		}
+		return b.collect(x.r)
+	case nNot:
+		return b.collect(x.arg)
+	case nLike:
+		return b.collect(x.arg)
+	case nIn:
+		if err := b.collect(x.arg); err != nil {
+			return err
+		}
+		for _, e := range x.list {
+			if err := b.collect(e); err != nil {
+				return err
+			}
+		}
+	case nBetween:
+		if err := b.collect(x.arg); err != nil {
+			return err
+		}
+		if err := b.collect(x.lo); err != nil {
+			return err
+		}
+		return b.collect(x.hi)
+	case nCase:
+		for _, w := range x.whens {
+			if err := b.collect(w.cond); err != nil {
+				return err
+			}
+			if err := b.collect(w.then); err != nil {
+				return err
+			}
+		}
+		if x.els != nil {
+			return b.collect(x.els)
+		}
+	case nCall:
+		for _, e := range x.args {
+			if err := b.collect(e); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// resolve maps an unqualified column name to its table.
+func (b *binder) resolve(name string) (int, *storage.Column, error) {
+	found := -1
+	var col *storage.Column
+	for i, t := range b.tables {
+		if c := t.Col(name); c != nil {
+			if found >= 0 {
+				return 0, nil, fmt.Errorf("sql: column %q is ambiguous", name)
+			}
+			found = i
+			col = c
+		}
+	}
+	if found < 0 {
+		return 0, nil, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, col, nil
+}
+
+// tablesOf returns the distinct tables a predicate references.
+func (b *binder) tablesOf(n node) []int {
+	set := map[int]bool{}
+	var walk func(n node)
+	walk = func(n node) {
+		switch x := n.(type) {
+		case nIdent:
+			if ti, _, err := b.resolve(x.name); err == nil {
+				set[ti] = true
+			}
+		case nBin:
+			walk(x.l)
+			walk(x.r)
+		case nNot:
+			walk(x.arg)
+		case nLike:
+			walk(x.arg)
+		case nIn:
+			walk(x.arg)
+			for _, e := range x.list {
+				walk(e)
+			}
+		case nBetween:
+			walk(x.arg)
+			walk(x.lo)
+			walk(x.hi)
+		case nCase:
+			for _, w := range x.whens {
+				walk(w.cond)
+				walk(w.then)
+			}
+			if x.els != nil {
+				walk(x.els)
+			}
+		case nCall:
+			for _, e := range x.args {
+				walk(e)
+			}
+		}
+	}
+	walk(n)
+	out := make([]int, 0, len(set))
+	for ti := range set {
+		out = append(out, ti)
+	}
+	return out
+}
+
+// asEquiJoin recognizes "col = col" across two tables.
+func (b *binder) asEquiJoin(n node) ([4]any, bool) {
+	bin, ok := n.(nBin)
+	if !ok || bin.op != "=" {
+		return [4]any{}, false
+	}
+	l, lok := bin.l.(nIdent)
+	r, rok := bin.r.(nIdent)
+	if !lok || !rok {
+		return [4]any{}, false
+	}
+	lt, _, err1 := b.resolve(l.name)
+	rt, _, err2 := b.resolve(r.name)
+	if err1 != nil || err2 != nil || lt == rt {
+		return [4]any{}, false
+	}
+	return [4]any{lt, l.name, rt, r.name}, true
+}
+
+// conjuncts flattens a WHERE tree over AND.
+func conjuncts(n node) []node {
+	if n == nil {
+		return nil
+	}
+	if bin, ok := n.(nBin); ok && bin.op == "AND" {
+		return append(conjuncts(bin.l), conjuncts(bin.r)...)
+	}
+	return []node{n}
+}
+
+// bind lowers an AST node to a typed expression over the given schema.
+// outNames, when non-nil, allows ORDER BY to reference SELECT aliases.
+func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Expr, error) {
+	switch x := n.(type) {
+	case nIdent:
+		if outNames != nil {
+			for i, nm := range outNames {
+				if nm == x.name {
+					return expr.Col(i, schema[i].T), nil
+				}
+			}
+		}
+		for i, c := range schema {
+			if c.Name == x.name {
+				return expr.Col(i, c.T), nil
+			}
+		}
+		return nil, fmt.Errorf("sql: column %q not in scope", x.name)
+	case nNum:
+		if i := strings.IndexByte(x.text, '.'); i >= 0 {
+			frac := x.text[i+1:]
+			var v int64
+			fmt.Sscanf(x.text[:i]+frac, "%d", &v)
+			return expr.Dec(v, len(frac)), nil
+		}
+		var v int64
+		fmt.Sscanf(x.text, "%d", &v)
+		return expr.Int(v), nil
+	case nStr:
+		return expr.Str(x.s), nil
+	case nDate:
+		return expr.Date(storage.MustParseDate(x.s)), nil
+	case nBin:
+		l, err := b.bind(x.l, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bind(x.r, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		return bindBin(x.op, l, r)
+	case nNot:
+		a, err := b.bind(x.arg, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Not(a), nil
+	case nLike:
+		a, err := b.bind(x.arg, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		if x.neg {
+			return expr.NotLike(a, x.pat), nil
+		}
+		return expr.Like(a, x.pat), nil
+	case nIn:
+		a, err := b.bind(x.arg, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		var list []expr.Expr
+		for _, e := range x.list {
+			le, err := b.bind(e, schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			// Char columns compare against single-char strings.
+			if a.Type().Kind == expr.KChar {
+				if c, ok := le.(*expr.Const); ok && c.T.Kind == expr.KString && len(c.S) == 1 {
+					le = expr.Ch(c.S[0])
+				}
+			}
+			list = append(list, le)
+		}
+		return expr.In(a, list...), nil
+	case nBetween:
+		a, err := b.bind(x.arg, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := b.bind(x.lo, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := b.bind(x.hi, schema, outNames)
+		if err != nil {
+			return nil, err
+		}
+		return expr.Between(a, coerce(lo, a), coerce(hi, a)), nil
+	case nCase:
+		var whens []expr.When
+		var thenT expr.Type
+		for _, w := range x.whens {
+			cond, err := b.bind(w.cond, schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			then, err := b.bind(w.then, schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			thenT = then.Type()
+			whens = append(whens, expr.When{Cond: cond, Then: then})
+		}
+		var els expr.Expr
+		if x.els != nil {
+			var err error
+			els, err = b.bind(x.els, schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			els = zeroOf(thenT)
+		}
+		// Unify arm types through rescaling when needed.
+		for i := range whens {
+			whens[i].Then = unify(whens[i].Then, els.Type())
+		}
+		els = unify(els, whens[0].Then.Type())
+		return expr.Case(whens, els), nil
+	case nCall:
+		switch x.name {
+		case "year":
+			a, err := b.bind(x.args[0], schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			return expr.Year(a), nil
+		case "substr":
+			if len(x.args) != 3 {
+				return nil, fmt.Errorf("sql: SUBSTR(expr, from, len)")
+			}
+			a, err := b.bind(x.args[0], schema, outNames)
+			if err != nil {
+				return nil, err
+			}
+			from, ok1 := x.args[1].(nNum)
+			ln, ok2 := x.args[2].(nNum)
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("sql: SUBSTR bounds must be literals")
+			}
+			var f, l int
+			fmt.Sscanf(from.text, "%d", &f)
+			fmt.Sscanf(ln.text, "%d", &l)
+			return expr.Substr(a, f, l), nil
+		}
+		return nil, fmt.Errorf("sql: unknown function %q", x.name)
+	}
+	return nil, fmt.Errorf("sql: cannot bind %T", n)
+}
+
+func bindBin(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "AND":
+		return expr.And(l, r), nil
+	case "OR":
+		return expr.Or(l, r), nil
+	case "+":
+		return expr.Add(l, r), nil
+	case "-":
+		return expr.Sub(l, r), nil
+	case "*":
+		return expr.Mul(l, r), nil
+	case "/":
+		return expr.Div(l, r), nil
+	}
+	// Comparisons: coerce char-vs-string and date-vs-... literals.
+	l2, r2 := l, coerce(r, l)
+	if l2.Type().Kind == expr.KString && r2.Type().Kind == expr.KChar {
+		l2 = coerce(l, r2)
+	}
+	var cmp expr.CmpOp
+	switch op {
+	case "=":
+		cmp = expr.CmpEq
+	case "<>":
+		cmp = expr.CmpNe
+	case "<":
+		cmp = expr.CmpLt
+	case "<=":
+		cmp = expr.CmpLe
+	case ">":
+		cmp = expr.CmpGt
+	default:
+		cmp = expr.CmpGe
+	}
+	return expr.NewCmp(cmp, l2, r2), nil
+}
+
+// coerce adapts a literal to the other operand's type where SQL would:
+// single-char strings to chars, ints to dates are left alone (dates come
+// from DATE literals).
+func coerce(e expr.Expr, other expr.Expr) expr.Expr {
+	c, ok := e.(*expr.Const)
+	if !ok {
+		return e
+	}
+	switch {
+	case other.Type().Kind == expr.KChar && c.T.Kind == expr.KString && len(c.S) == 1:
+		return expr.Ch(c.S[0])
+	case other.Type().Kind == expr.KDate && c.T.Kind == expr.KInt:
+		return expr.Date(c.I)
+	}
+	return e
+}
+
+// unify rescales decimals so CASE arms share a type.
+func unify(e expr.Expr, t expr.Type) expr.Expr {
+	et := e.Type()
+	if et == t {
+		return e
+	}
+	if t.Kind == expr.KFloat && et.Numeric() {
+		return expr.ToFloat(e)
+	}
+	if t.Kind == expr.KDecimal && (et.Kind == expr.KDecimal || et.Kind == expr.KInt) {
+		if scale := t.Scale; scale >= scaleOf(et) {
+			return expr.Rescale(e, scale)
+		}
+	}
+	return e
+}
+
+func scaleOf(t expr.Type) int {
+	if t.Kind == expr.KDecimal {
+		return t.Scale
+	}
+	return 0
+}
+
+func zeroOf(t expr.Type) expr.Expr {
+	switch t.Kind {
+	case expr.KFloat:
+		return expr.Float(0)
+	case expr.KDecimal:
+		return expr.Dec(0, t.Scale)
+	default:
+		return expr.Int(0)
+	}
+}

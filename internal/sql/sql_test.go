@@ -1,0 +1,167 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+	"aqe/internal/tpch"
+	"aqe/internal/volcano"
+)
+
+var cat = tpch.Gen(0.003)
+
+// run plans the SQL and executes it on the volcano oracle.
+func run(t *testing.T, q string) ([][]expr.Datum, []plan.ColDef) {
+	t.Helper()
+	node, err := Plan(q, cat)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	rows, err := volcano.Run(node)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return rows, node.Schema()
+}
+
+func TestSelectFilter(t *testing.T) {
+	rows, schema := run(t, `SELECT l_orderkey, l_quantity FROM lineitem
+		WHERE l_quantity > 45.0 AND l_shipdate >= DATE '1995-01-01'`)
+	if len(schema) != 2 {
+		t.Fatalf("schema %v", schema)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for _, r := range rows {
+		if r[1].I <= 4500 {
+			t.Fatalf("filter leaked: %v", r[1].I)
+		}
+	}
+}
+
+func TestAggregation(t *testing.T) {
+	rows, _ := run(t, `SELECT l_returnflag, count(*) AS n, sum(l_extendedprice) AS s,
+		avg(l_discount) AS d FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag`)
+	if len(rows) != 3 {
+		t.Fatalf("expected 3 return flags, got %d", len(rows))
+	}
+	var total int64
+	for _, r := range rows {
+		total += r[1].I
+	}
+	if total != int64(cat.Table("lineitem").Rows()) {
+		t.Errorf("counts sum to %d, want %d", total, cat.Table("lineitem").Rows())
+	}
+}
+
+func TestJoinTwoTables(t *testing.T) {
+	rows, _ := run(t, `SELECT n_name, count(*) FROM nation, region
+		WHERE n_regionkey = r_regionkey AND r_name = 'ASIA'
+		GROUP BY n_name ORDER BY n_name`)
+	if len(rows) != 5 {
+		t.Fatalf("expected 5 asian nations, got %d", len(rows))
+	}
+}
+
+func TestThreeWayJoin(t *testing.T) {
+	rows, _ := run(t, `SELECT c_custkey, count(*) AS orders FROM customer, orders, nation
+		WHERE c_custkey = o_custkey AND c_nationkey = n_nationkey AND n_name = 'FRANCE'
+		GROUP BY c_custkey ORDER BY orders DESC LIMIT 5`)
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i][1].I > rows[i-1][1].I {
+			t.Fatal("ORDER BY DESC violated")
+		}
+	}
+}
+
+func TestSQLMatchesHandPlan(t *testing.T) {
+	// The SQL version of Q6 must agree with the hand-built plan.
+	sqlRows, _ := run(t, `SELECT sum(l_extendedprice * l_discount) AS revenue
+		FROM lineitem
+		WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+		  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`)
+	q6 := tpch.Query(cat, 6)
+	want, err := volcano.Run(q6.Stages[0].Build(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sqlRows[0][0].I != want[0][0].I {
+		t.Errorf("SQL Q6 revenue %d, hand plan %d", sqlRows[0][0].I, want[0][0].I)
+	}
+}
+
+func TestLikeInCaseYearSubstr(t *testing.T) {
+	rows, _ := run(t, `SELECT YEAR(o_orderdate) AS y,
+		sum(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') THEN 1 ELSE 0 END) AS hi
+		FROM orders WHERE o_comment NOT LIKE '%special%requests%'
+		GROUP BY YEAR(o_orderdate) ORDER BY y`)
+	if len(rows) < 5 {
+		t.Fatalf("expected several years, got %d", len(rows))
+	}
+	rows2, _ := run(t, `SELECT SUBSTR(c_phone, 1, 2) AS code, count(*)
+		FROM customer GROUP BY SUBSTR(c_phone, 1, 2) ORDER BY code`)
+	if len(rows2) == 0 {
+		t.Fatal("no phone codes")
+	}
+	for _, r := range rows2 {
+		if len(r[0].S) != 2 {
+			t.Fatalf("bad code %q", r[0].S)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT * FROM lineitem", // star projection unsupported
+		"SELECT x FROM nosuchtable",
+		"SELECT nosuchcol FROM lineitem",
+		"SELECT l_orderkey FROM lineitem WHERE",
+		"SELECT l_orderkey FROM lineitem GROUP BY",
+		"SELECT count(*) FROM lineitem HAVING count(*) > 1",
+		"SELECT l_orderkey FROM lineitem LIMIT abc",
+		"SELECT l_orderkey, c_custkey FROM lineitem, customer", // cross join
+		"SELECT l_orderkey FROM lineitem WHERE l_comment LIKE 5",
+	}
+	for _, q := range bad {
+		if _, err := Plan(q, cat); err == nil {
+			t.Errorf("expected error for %q", q)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	// l_orderkey exists once; fabricate ambiguity via two lineitem scans
+	// is impossible in this subset (same table twice), so check a name
+	// that does not exist instead and a valid two-table disambiguation.
+	if _, err := Plan("SELECT junk FROM lineitem, orders WHERE l_orderkey = o_orderkey", cat); err == nil {
+		t.Error("expected unknown column error")
+	}
+}
+
+func TestCanonNondeterminism(t *testing.T) {
+	// The same group-by run twice must produce identical multisets.
+	a, schema := run(t, "SELECT o_custkey, count(*) FROM orders GROUP BY o_custkey")
+	b, _ := run(t, "SELECT o_custkey, count(*) FROM orders GROUP BY o_custkey")
+	key := func(rows [][]expr.Datum) string {
+		out := make([]string, len(rows))
+		for i, r := range rows {
+			out[i] = fmt.Sprintf("%d|%d", r[0].I, r[1].I)
+		}
+		sort.Strings(out)
+		return strings.Join(out, "\n")
+	}
+	_ = schema
+	if key(a) != key(b) {
+		t.Error("group-by results unstable")
+	}
+}

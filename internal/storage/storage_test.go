@@ -1,0 +1,126 @@
+package storage
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestColumnRoundTrips(t *testing.T) {
+	ic := NewColumn("i", Int64)
+	fc := NewColumn("f", Float64)
+	cc := NewColumn("c", Char)
+	sc := NewColumn("s", String)
+	for i := 0; i < 100; i++ {
+		ic.AppendInt64(int64(i*i - 50))
+		fc.AppendFloat64(float64(i) / 8)
+		cc.AppendChar(byte('a' + i%26))
+		sc.AppendString(string(rune('A'+i%26)) + "xyz")
+	}
+	for i := 0; i < 100; i++ {
+		if ic.Int64At(i) != int64(i*i-50) {
+			t.Fatalf("int64 row %d", i)
+		}
+		if fc.Float64At(i) != float64(i)/8 {
+			t.Fatalf("float row %d", i)
+		}
+		if cc.CharAt(i) != byte('a'+i%26) {
+			t.Fatalf("char row %d", i)
+		}
+		if sc.StringAt(i) != string(rune('A'+i%26))+"xyz" {
+			t.Fatalf("string row %d: %q", i, sc.StringAt(i))
+		}
+	}
+	if ic.Rows() != 100 || len(ic.Data()) != 800 {
+		t.Errorf("rows/data sizing wrong")
+	}
+	if sc.Heap() == nil || len(sc.Data()) != 1600 {
+		t.Errorf("string column sizing wrong")
+	}
+}
+
+func TestStringRoundTripProperty(t *testing.T) {
+	c := NewColumn("s", String)
+	var want []string
+	add := func(s string) bool {
+		c.AppendString(s)
+		want = append(want, s)
+		return c.StringAt(len(want)-1) == s
+	}
+	if err := quick.Check(add, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	for i, s := range want {
+		if c.StringAt(i) != s {
+			t.Fatalf("row %d corrupted after later appends", i)
+		}
+	}
+}
+
+func TestTableAndCatalog(t *testing.T) {
+	a := NewColumn("a", Int64)
+	b := NewColumn("b", Decimal)
+	a.AppendInt64(1)
+	b.AppendInt64(250)
+	tbl := NewTable("t", a, b)
+	if err := tbl.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Col("a") != a || tbl.Col("nope") != nil {
+		t.Error("Col lookup broken")
+	}
+	b.AppendInt64(1)
+	if err := tbl.Check(); err == nil {
+		t.Error("Check missed ragged columns")
+	}
+	cat := NewCatalog()
+	cat.Add(tbl)
+	if cat.Table("t") != tbl || len(cat.Names()) != 1 {
+		t.Error("catalog broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCol should panic on missing column")
+		}
+	}()
+	tbl.MustCol("missing")
+}
+
+func TestDates(t *testing.T) {
+	cases := []struct {
+		s    string
+		days int64
+	}{
+		{"1970-01-01", 0}, {"1970-01-02", 1}, {"1996-01-01", 9496},
+		{"1992-01-01", 8035}, {"1998-08-02", 10440},
+	}
+	for _, c := range cases {
+		if got := MustParseDate(c.s); got != c.days {
+			t.Errorf("MustParseDate(%s) = %d, want %d", c.s, got, c.days)
+		}
+		if got := FormatDate(c.days); got != c.s {
+			t.Errorf("FormatDate(%d) = %s, want %s", c.days, got, c.s)
+		}
+	}
+	if YearOf(MustParseDate("1995-12-31")) != 1995 {
+		t.Error("YearOf broken")
+	}
+	if DaysFromDate(1970, 1, 3) != 2 {
+		t.Error("DaysFromDate broken")
+	}
+}
+
+func TestDecimalString(t *testing.T) {
+	cases := []struct {
+		v     int64
+		scale int
+		want  string
+	}{
+		{12345, 2, "123.45"}, {-12345, 2, "-123.45"}, {5, 2, "0.05"},
+		{0, 2, "0.00"}, {7, 0, "7"}, {1234567, 4, "123.4567"},
+	}
+	for _, c := range cases {
+		if got := DecimalString(c.v, c.scale); got != c.want {
+			t.Errorf("DecimalString(%d,%d) = %s, want %s", c.v, c.scale, got, c.want)
+		}
+	}
+}

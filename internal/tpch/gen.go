@@ -1,0 +1,391 @@
+// Package tpch implements a dbgen-equivalent TPC-H data generator and the
+// physical plans of all 22 TPC-H queries. The generator is deterministic
+// for a given scale factor and follows the specification's table sizes,
+// key structure (including the partsupp/lineitem supplier relationship)
+// and the value distributions the queries' predicates select on; text
+// columns carry the words the benchmark's LIKE patterns look for.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aqe/internal/storage"
+)
+
+// Nations and regions per the TPC-H specification.
+var regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+var nations = []struct {
+	Name   string
+	Region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3},
+	{"UNITED KINGDOM", 3}, {"UNITED STATES", 1},
+}
+
+var segments = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+
+var priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+
+var shipModes = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+
+var shipInstructs = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+
+var typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+var typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+var typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+var containerSyl1 = []string{"SM", "LG", "MED", "JUMBO", "WRAP"}
+var containerSyl2 = []string{"CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"}
+
+// colors is a subset of dbgen's P_NAME word list; the queries' patterns
+// ('%green%', 'forest%') must be able to match.
+var colors = []string{
+	"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+	"blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+	"chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+	"dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+	"frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+	"hot", "hunter", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+	"lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+	"midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+	"orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+	"puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+	"sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+	"steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+	"yellow",
+}
+
+var commentWords = []string{
+	"carefully", "quickly", "furiously", "slyly", "blithely", "ironic",
+	"final", "pending", "express", "regular", "bold", "even", "silent",
+	"packages", "deposits", "accounts", "requests", "instructions", "foxes",
+	"theodolites", "pinto", "beans", "dependencies", "excuses", "platelets",
+	"asymptotes", "courts", "ideas", "sauternes", "sleep", "haggle", "nag",
+	"special", "unusual",
+}
+
+// Date constants (days since 1970-01-01).
+var (
+	startDate = storage.MustParseDate("1992-01-01")
+	endDate   = storage.MustParseDate("1998-08-02")
+	cutoff    = storage.MustParseDate("1995-06-17") // returnflag/linestatus split
+)
+
+// Sizes per unit scale factor.
+const (
+	suppliersPerSF = 10000
+	partsPerSF     = 200000
+	customersPerSF = 150000
+	ordersPerSF    = 1500000
+	suppPerPart    = 4
+)
+
+// Gen generates the 8 TPC-H tables at the given scale factor into a
+// catalog. SF 0.01 is about 10 MB of raw data, SF 1 about 1 GB (paper
+// §V-A).
+func Gen(sf float64) *storage.Catalog {
+	rng := rand.New(rand.NewSource(19920101))
+	cat := storage.NewCatalog()
+
+	nSupp := scaled(suppliersPerSF, sf)
+	nPart := scaled(partsPerSF, sf)
+	nCust := scaled(customersPerSF, sf)
+	nOrd := scaled(ordersPerSF, sf)
+
+	cat.Add(genRegion())
+	cat.Add(genNation())
+	cat.Add(genSupplier(rng, nSupp))
+	cat.Add(genPart(rng, nPart))
+	cat.Add(genPartsupp(rng, nPart, nSupp))
+	cat.Add(genCustomer(rng, nCust))
+	orders, lineitem := genOrders(rng, nOrd, nCust, nPart, nSupp)
+	cat.Add(orders)
+	cat.Add(lineitem)
+	return cat
+}
+
+func scaled(base int, sf float64) int {
+	n := int(float64(base) * sf)
+	if n < 5 {
+		n = 5
+	}
+	return n
+}
+
+func comment(rng *rand.Rand, words int) string {
+	out := ""
+	for i := 0; i < words; i++ {
+		if i > 0 {
+			out += " "
+		}
+		out += commentWords[rng.Intn(len(commentWords))]
+	}
+	return out
+}
+
+func phone(rng *rand.Rand, nation int) string {
+	return fmt.Sprintf("%d-%03d-%03d-%04d", 10+nation,
+		100+rng.Intn(900), 100+rng.Intn(900), 1000+rng.Intn(9000))
+}
+
+func genRegion() *storage.Table {
+	key := storage.NewColumn("r_regionkey", storage.Int64)
+	name := storage.NewColumn("r_name", storage.String)
+	cmt := storage.NewColumn("r_comment", storage.String)
+	for i, r := range regions {
+		key.AppendInt64(int64(i))
+		name.AppendString(r)
+		cmt.AppendString("region " + r)
+	}
+	return storage.NewTable("region", key, name, cmt)
+}
+
+func genNation() *storage.Table {
+	key := storage.NewColumn("n_nationkey", storage.Int64)
+	name := storage.NewColumn("n_name", storage.String)
+	rkey := storage.NewColumn("n_regionkey", storage.Int64)
+	cmt := storage.NewColumn("n_comment", storage.String)
+	for i, n := range nations {
+		key.AppendInt64(int64(i))
+		name.AppendString(n.Name)
+		rkey.AppendInt64(int64(n.Region))
+		cmt.AppendString("nation " + n.Name)
+	}
+	return storage.NewTable("nation", key, name, rkey, cmt)
+}
+
+func genSupplier(rng *rand.Rand, n int) *storage.Table {
+	key := storage.NewColumn("s_suppkey", storage.Int64)
+	name := storage.NewColumn("s_name", storage.String)
+	addr := storage.NewColumn("s_address", storage.String)
+	nk := storage.NewColumn("s_nationkey", storage.Int64)
+	ph := storage.NewColumn("s_phone", storage.String)
+	bal := storage.NewColumn("s_acctbal", storage.Decimal)
+	cmt := storage.NewColumn("s_comment", storage.String)
+	for i := 1; i <= n; i++ {
+		nat := rng.Intn(len(nations))
+		key.AppendInt64(int64(i))
+		name.AppendString(fmt.Sprintf("Supplier#%09d", i))
+		addr.AppendString(fmt.Sprintf("addr sup %d", i))
+		nk.AppendInt64(int64(nat))
+		ph.AppendString(phone(rng, nat))
+		bal.AppendInt64(int64(rng.Intn(1099998) - 99999)) // -999.99 .. 9999.99
+		// ~0.05% of suppliers carry the Q16 complaint marker.
+		if rng.Intn(2000) == 0 {
+			cmt.AppendString("blithely Customer ironic Complaints sleep")
+		} else {
+			cmt.AppendString(comment(rng, 6))
+		}
+	}
+	return storage.NewTable("supplier", key, name, addr, nk, ph, bal, cmt)
+}
+
+func genPart(rng *rand.Rand, n int) *storage.Table {
+	key := storage.NewColumn("p_partkey", storage.Int64)
+	name := storage.NewColumn("p_name", storage.String)
+	mfgr := storage.NewColumn("p_mfgr", storage.String)
+	brand := storage.NewColumn("p_brand", storage.String)
+	typ := storage.NewColumn("p_type", storage.String)
+	size := storage.NewColumn("p_size", storage.Int64)
+	cont := storage.NewColumn("p_container", storage.String)
+	price := storage.NewColumn("p_retailprice", storage.Decimal)
+	cmt := storage.NewColumn("p_comment", storage.String)
+	for i := 1; i <= n; i++ {
+		m := 1 + rng.Intn(5)
+		b := m*10 + 1 + rng.Intn(5)
+		key.AppendInt64(int64(i))
+		// 5 words from the color list, per dbgen.
+		nm := ""
+		for w := 0; w < 5; w++ {
+			if w > 0 {
+				nm += " "
+			}
+			nm += colors[rng.Intn(len(colors))]
+		}
+		name.AppendString(nm)
+		mfgr.AppendString(fmt.Sprintf("Manufacturer#%d", m))
+		brand.AppendString(fmt.Sprintf("Brand#%d", b))
+		typ.AppendString(typeSyl1[rng.Intn(6)] + " " + typeSyl2[rng.Intn(5)] + " " + typeSyl3[rng.Intn(5)])
+		size.AppendInt64(int64(1 + rng.Intn(50)))
+		cont.AppendString(containerSyl1[rng.Intn(5)] + " " + containerSyl2[rng.Intn(8)])
+		// dbgen: (90000 + (partkey/10)%20001 + 100*(partkey%1000)) / 100
+		price.AppendInt64(int64(90000 + (i/10)%20001 + 100*(i%1000)))
+		cmt.AppendString(comment(rng, 3))
+	}
+	return storage.NewTable("part", key, name, mfgr, brand, typ, size, cont, price, cmt)
+}
+
+// suppForPart returns the j-th supplier of part p (dbgen's formula), which
+// the lineitem generator must respect so lineitem⨝partsupp joins work.
+func suppForPart(p, j, nSupp int) int {
+	return (p+j*(nSupp/4+(p-1)/nSupp))%nSupp + 1
+}
+
+func genPartsupp(rng *rand.Rand, nPart, nSupp int) *storage.Table {
+	pk := storage.NewColumn("ps_partkey", storage.Int64)
+	sk := storage.NewColumn("ps_suppkey", storage.Int64)
+	qty := storage.NewColumn("ps_availqty", storage.Int64)
+	cost := storage.NewColumn("ps_supplycost", storage.Decimal)
+	cmt := storage.NewColumn("ps_comment", storage.String)
+	for p := 1; p <= nPart; p++ {
+		for j := 0; j < suppPerPart; j++ {
+			pk.AppendInt64(int64(p))
+			sk.AppendInt64(int64(suppForPart(p, j, nSupp)))
+			qty.AppendInt64(int64(1 + rng.Intn(9999)))
+			cost.AppendInt64(int64(100 + rng.Intn(99901))) // 1.00 .. 1000.00
+			cmt.AppendString(comment(rng, 4))
+		}
+	}
+	return storage.NewTable("partsupp", pk, sk, qty, cost, cmt)
+}
+
+func genCustomer(rng *rand.Rand, n int) *storage.Table {
+	key := storage.NewColumn("c_custkey", storage.Int64)
+	name := storage.NewColumn("c_name", storage.String)
+	addr := storage.NewColumn("c_address", storage.String)
+	nk := storage.NewColumn("c_nationkey", storage.Int64)
+	ph := storage.NewColumn("c_phone", storage.String)
+	bal := storage.NewColumn("c_acctbal", storage.Decimal)
+	seg := storage.NewColumn("c_mktsegment", storage.String)
+	cmt := storage.NewColumn("c_comment", storage.String)
+	for i := 1; i <= n; i++ {
+		nat := rng.Intn(len(nations))
+		key.AppendInt64(int64(i))
+		name.AppendString(fmt.Sprintf("Customer#%09d", i))
+		addr.AppendString(fmt.Sprintf("addr cust %d", i))
+		nk.AppendInt64(int64(nat))
+		ph.AppendString(phone(rng, nat))
+		bal.AppendInt64(int64(rng.Intn(1099998) - 99999))
+		seg.AppendString(segments[rng.Intn(len(segments))])
+		cmt.AppendString(comment(rng, 6))
+	}
+	return storage.NewTable("customer", key, name, addr, nk, ph, bal, seg, cmt)
+}
+
+func genOrders(rng *rand.Rand, nOrd, nCust, nPart, nSupp int) (*storage.Table, *storage.Table) {
+	oKey := storage.NewColumn("o_orderkey", storage.Int64)
+	oCust := storage.NewColumn("o_custkey", storage.Int64)
+	oStatus := storage.NewColumn("o_orderstatus", storage.Char)
+	oTotal := storage.NewColumn("o_totalprice", storage.Decimal)
+	oDate := storage.NewColumn("o_orderdate", storage.Date)
+	oPrio := storage.NewColumn("o_orderpriority", storage.String)
+	oClerk := storage.NewColumn("o_clerk", storage.String)
+	oShip := storage.NewColumn("o_shippriority", storage.Int64)
+	oCmt := storage.NewColumn("o_comment", storage.String)
+
+	lOrd := storage.NewColumn("l_orderkey", storage.Int64)
+	lPart := storage.NewColumn("l_partkey", storage.Int64)
+	lSupp := storage.NewColumn("l_suppkey", storage.Int64)
+	lNum := storage.NewColumn("l_linenumber", storage.Int64)
+	lQty := storage.NewColumn("l_quantity", storage.Decimal)
+	lPrice := storage.NewColumn("l_extendedprice", storage.Decimal)
+	lDisc := storage.NewColumn("l_discount", storage.Decimal)
+	lTax := storage.NewColumn("l_tax", storage.Decimal)
+	lRet := storage.NewColumn("l_returnflag", storage.Char)
+	lStat := storage.NewColumn("l_linestatus", storage.Char)
+	lShip := storage.NewColumn("l_shipdate", storage.Date)
+	lCommit := storage.NewColumn("l_commitdate", storage.Date)
+	lRcpt := storage.NewColumn("l_receiptdate", storage.Date)
+	lInstr := storage.NewColumn("l_shipinstruct", storage.String)
+	lMode := storage.NewColumn("l_shipmode", storage.String)
+	lCmt := storage.NewColumn("l_comment", storage.String)
+
+	dateRange := int(endDate - startDate)
+	for o := 1; o <= nOrd; o++ {
+		// As in dbgen, customers whose key is divisible by 3 place no
+		// orders (Q13/Q22 depend on orderless customers existing).
+		cust := 1 + rng.Intn(nCust)
+		if cust%3 == 0 {
+			cust++
+			if cust > nCust {
+				cust = 1
+			}
+		}
+		odate := startDate + int64(rng.Intn(dateRange-121))
+		nLines := 1 + rng.Intn(7)
+		var total int64
+		allF, allO := true, true
+		for ln := 1; ln <= nLines; ln++ {
+			p := 1 + rng.Intn(nPart)
+			s := suppForPart(p, rng.Intn(suppPerPart), nSupp)
+			qty := int64(1 + rng.Intn(50))
+			// dbgen extendedprice = qty * p_retailprice.
+			retail := int64(90000 + (p/10)%20001 + 100*(p%1000))
+			eprice := qty * retail
+			disc := int64(rng.Intn(11)) // 0.00 .. 0.10
+			tax := int64(rng.Intn(9))   // 0.00 .. 0.08
+			ship := odate + int64(1+rng.Intn(121))
+			commit := odate + int64(30+rng.Intn(61))
+			rcpt := ship + int64(1+rng.Intn(30))
+			rf := byte('N')
+			if rcpt <= cutoff {
+				if rng.Intn(2) == 0 {
+					rf = 'R'
+				} else {
+					rf = 'A'
+				}
+			}
+			ls := byte('O')
+			if ship <= cutoff {
+				ls = 'F'
+			}
+			if ls == 'O' {
+				allF = false
+			} else {
+				allO = false
+			}
+
+			lOrd.AppendInt64(int64(o))
+			lPart.AppendInt64(int64(p))
+			lSupp.AppendInt64(int64(s))
+			lNum.AppendInt64(int64(ln))
+			lQty.AppendInt64(qty * 100)
+			lPrice.AppendInt64(eprice)
+			lDisc.AppendInt64(disc)
+			lTax.AppendInt64(tax)
+			lRet.AppendChar(rf)
+			lStat.AppendChar(ls)
+			lShip.AppendInt64(ship)
+			lCommit.AppendInt64(commit)
+			lRcpt.AppendInt64(rcpt)
+			lInstr.AppendString(shipInstructs[rng.Intn(4)])
+			lMode.AppendString(shipModes[rng.Intn(7)])
+			lCmt.AppendString(comment(rng, 3))
+			total += eprice
+		}
+		status := byte('P')
+		if allF {
+			status = 'F'
+		} else if allO {
+			status = 'O'
+		}
+		oKey.AppendInt64(int64(o))
+		oCust.AppendInt64(int64(cust))
+		oStatus.AppendChar(status)
+		oTotal.AppendInt64(total)
+		oDate.AppendInt64(odate)
+		oPrio.AppendString(priorities[rng.Intn(5)])
+		oClerk.AppendString(fmt.Sprintf("Clerk#%09d", 1+rng.Intn(1000)))
+		oShip.AppendInt64(0)
+		// Q13's pattern: '%special%requests%'. A slice of comments
+		// matches it through word adjacency.
+		if rng.Intn(100) < 2 {
+			oCmt.AppendString("the special pending requests haggle")
+		} else {
+			oCmt.AppendString(comment(rng, 5))
+		}
+	}
+	orders := storage.NewTable("orders",
+		oKey, oCust, oStatus, oTotal, oDate, oPrio, oClerk, oShip, oCmt)
+	lineitem := storage.NewTable("lineitem",
+		lOrd, lPart, lSupp, lNum, lQty, lPrice, lDisc, lTax, lRet, lStat,
+		lShip, lCommit, lRcpt, lInstr, lMode, lCmt)
+	return orders, lineitem
+}

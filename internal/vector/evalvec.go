@@ -1,0 +1,373 @@
+package vector
+
+import (
+	"fmt"
+	"math"
+
+	"aqe/internal/expr"
+	"aqe/internal/rt"
+)
+
+// evalVec evaluates an expression over a whole batch, producing one value
+// per row. The operator and type dispatch happens once per column, not
+// once per tuple — the column-at-a-time execution model.
+func evalVec(e expr.Expr, b *batch) []expr.Datum {
+	switch x := e.(type) {
+	case *expr.ColRef:
+		return b.cols[x.Idx]
+	case *expr.Const:
+		out := make([]expr.Datum, b.n)
+		d := expr.Datum{I: x.I, F: x.F, S: x.S}
+		for i := range out {
+			out[i] = d
+		}
+		return out
+	case *expr.Arith:
+		return vecArith(x, b)
+	case *expr.Cmp:
+		return vecCmp(x, b)
+	case *expr.Logic:
+		out := evalVec(x.Args[0], b)
+		res := make([]expr.Datum, b.n)
+		copy(res, out)
+		for _, a := range x.Args[1:] {
+			v := evalVec(a, b)
+			if x.IsAnd {
+				for i := range res {
+					res[i].I &= v[i].I
+				}
+			} else {
+				for i := range res {
+					res[i].I |= v[i].I
+				}
+			}
+		}
+		return res
+	case *expr.NotExpr:
+		v := evalVec(x.Arg, b)
+		out := make([]expr.Datum, b.n)
+		for i := range out {
+			out[i].I = 1 - v[i].I
+		}
+		return out
+	case *expr.LikeExpr:
+		v := evalVec(x.Arg, b)
+		out := make([]expr.Datum, b.n)
+		for i := range out {
+			m := x.Compiled.Match([]byte(v[i].S))
+			if m != x.Negate {
+				out[i].I = 1
+			}
+		}
+		return out
+	case *expr.InList:
+		v := evalVec(x.Arg, b)
+		out := make([]expr.Datum, b.n)
+		if x.Arg.Type().Kind == expr.KString {
+			set := make(map[string]bool, len(x.List))
+			for _, c := range x.List {
+				set[c.S] = true
+			}
+			for i := range out {
+				if set[v[i].S] {
+					out[i].I = 1
+				}
+			}
+		} else {
+			set := make(map[int64]bool, len(x.List))
+			for _, c := range x.List {
+				set[c.I] = true
+			}
+			for i := range out {
+				if set[v[i].I] {
+					out[i].I = 1
+				}
+			}
+		}
+		return out
+	case *expr.CaseExpr:
+		out := make([]expr.Datum, b.n)
+		done := make([]bool, b.n)
+		for _, w := range x.Whens {
+			cond := evalVec(w.Cond, b)
+			then := evalVec(w.Then, b)
+			for i := range out {
+				if !done[i] && cond[i].I != 0 {
+					out[i] = then[i]
+					done[i] = true
+				}
+			}
+		}
+		els := evalVec(x.Else, b)
+		for i := range out {
+			if !done[i] {
+				out[i] = els[i]
+			}
+		}
+		return out
+	case *expr.YearExpr:
+		v := evalVec(x.Arg, b)
+		out := make([]expr.Datum, b.n)
+		for i := range out {
+			out[i].I = rt.YearOfDays(v[i].I)
+		}
+		return out
+	case *expr.SubstrExpr:
+		v := evalVec(x.Arg, b)
+		out := make([]expr.Datum, b.n)
+		for i := range out {
+			s := v[i].S
+			from, end := x.From-1, x.From-1+x.Len
+			if from > len(s) {
+				from = len(s)
+			}
+			if end > len(s) {
+				end = len(s)
+			}
+			out[i].S = s[from:end]
+		}
+		return out
+	case *expr.CastExpr:
+		v := evalVec(x.Arg, b)
+		out := make([]expr.Datum, b.n)
+		from := x.Arg.Type()
+		switch x.T.Kind {
+		case expr.KFloat:
+			div := 1.0
+			if from.Kind == expr.KDecimal {
+				div = math.Pow10(from.Scale)
+			}
+			for i := range out {
+				if from.Kind == expr.KFloat {
+					out[i].F = v[i].F
+				} else {
+					out[i].F = float64(v[i].I) / div
+				}
+			}
+		case expr.KDecimal:
+			fromScale := 0
+			if from.Kind == expr.KDecimal {
+				fromScale = from.Scale
+			}
+			diff := x.T.Scale - fromScale
+			switch {
+			case diff > 0:
+				m := pow10(diff)
+				for i := range out {
+					out[i].I = checkedMulV(v[i].I, m)
+				}
+			case diff < 0:
+				m := pow10(-diff)
+				for i := range out {
+					out[i].I = v[i].I / m
+				}
+			default:
+				copy(out, v)
+			}
+		default:
+			panic("vector: unsupported cast")
+		}
+		return out
+	}
+	panic(fmt.Sprintf("vector: cannot evaluate %T", e))
+}
+
+func pow10(n int) int64 {
+	p := int64(1)
+	for i := 0; i < n; i++ {
+		p *= 10
+	}
+	return p
+}
+
+func checkedAddV(x, y int64) int64 {
+	r := x + y
+	if (x^r)&(y^r) < 0 {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+func checkedMulV(x, y int64) int64 {
+	r := x * y
+	if x != 0 && ((x == -1 && y == math.MinInt64) || r/x != y) {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+// toFVec converts a numeric vector to floats.
+func toFVec(v []expr.Datum, t expr.Type) []float64 {
+	out := make([]float64, len(v))
+	switch t.Kind {
+	case expr.KFloat:
+		for i := range v {
+			out[i] = v[i].F
+		}
+	case expr.KDecimal:
+		div := math.Pow10(t.Scale)
+		for i := range v {
+			out[i] = float64(v[i].I) / div
+		}
+	default:
+		for i := range v {
+			out[i] = float64(v[i].I)
+		}
+	}
+	return out
+}
+
+// rescaleVec multiplies a decimal vector up to a target scale.
+func rescaleVec(v []expr.Datum, diff int) []expr.Datum {
+	if diff == 0 {
+		return v
+	}
+	m := pow10(diff)
+	out := make([]expr.Datum, len(v))
+	for i := range v {
+		out[i].I = checkedMulV(v[i].I, m)
+	}
+	return out
+}
+
+func scaleOf(t expr.Type) int {
+	if t.Kind == expr.KDecimal {
+		return t.Scale
+	}
+	return 0
+}
+
+func vecArith(x *expr.Arith, b *batch) []expr.Datum {
+	l := evalVec(x.L, b)
+	r := evalVec(x.R, b)
+	lt, rtt := x.L.Type(), x.R.Type()
+	out := make([]expr.Datum, b.n)
+	if x.T.Kind == expr.KFloat {
+		lf, rf := toFVec(l, lt), toFVec(r, rtt)
+		switch x.Op {
+		case expr.OpAdd:
+			for i := range out {
+				out[i].F = lf[i] + rf[i]
+			}
+		case expr.OpSub:
+			for i := range out {
+				out[i].F = lf[i] - rf[i]
+			}
+		case expr.OpMul:
+			for i := range out {
+				out[i].F = lf[i] * rf[i]
+			}
+		default:
+			for i := range out {
+				out[i].F = lf[i] / rf[i]
+			}
+		}
+		return out
+	}
+	switch x.Op {
+	case expr.OpAdd, expr.OpSub:
+		ls, rs := scaleOf(lt), scaleOf(rtt)
+		s := ls
+		if rs > s {
+			s = rs
+		}
+		lv := rescaleVec(l, s-ls)
+		rv := rescaleVec(r, s-rs)
+		if x.Op == expr.OpAdd {
+			for i := range out {
+				out[i].I = checkedAddV(lv[i].I, rv[i].I)
+			}
+		} else {
+			for i := range out {
+				out[i].I = checkedAddV(lv[i].I, -rv[i].I)
+			}
+		}
+	case expr.OpMul:
+		for i := range out {
+			out[i].I = checkedMulV(l[i].I, r[i].I)
+		}
+	default:
+		for i := range out {
+			if r[i].I == 0 {
+				rt.Throw(rt.TrapDivZero)
+			}
+			if l[i].I == math.MinInt64 && r[i].I == -1 {
+				rt.Throw(rt.TrapOverflow)
+			}
+			out[i].I = l[i].I / r[i].I
+		}
+	}
+	return out
+}
+
+func vecCmp(x *expr.Cmp, b *batch) []expr.Datum {
+	l := evalVec(x.L, b)
+	r := evalVec(x.R, b)
+	lt, rtt := x.L.Type(), x.R.Type()
+	out := make([]expr.Datum, b.n)
+	set := func(i int, cond bool) {
+		if cond {
+			out[i].I = 1
+		}
+	}
+	switch {
+	case lt.Kind == expr.KString:
+		for i := range out {
+			eq := l[i].S == r[i].S
+			set(i, (x.Op == expr.CmpEq) == eq)
+		}
+	case lt.Kind == expr.KFloat || rtt.Kind == expr.KFloat:
+		lf, rf := toFVec(l, lt), toFVec(r, rtt)
+		cmpLoop(out, x.Op, func(i int) int {
+			switch {
+			case lf[i] < rf[i]:
+				return -1
+			case lf[i] > rf[i]:
+				return 1
+			}
+			return 0
+		})
+	default:
+		ls, rs := scaleOf(lt), scaleOf(rtt)
+		s := ls
+		if rs > s {
+			s = rs
+		}
+		lv := rescaleVec(l, s-ls)
+		rv := rescaleVec(r, s-rs)
+		cmpLoop(out, x.Op, func(i int) int {
+			switch {
+			case lv[i].I < rv[i].I:
+				return -1
+			case lv[i].I > rv[i].I:
+				return 1
+			}
+			return 0
+		})
+	}
+	return out
+}
+
+func cmpLoop(out []expr.Datum, op expr.CmpOp, cmp func(i int) int) {
+	for i := range out {
+		c := cmp(i)
+		var r bool
+		switch op {
+		case expr.CmpEq:
+			r = c == 0
+		case expr.CmpNe:
+			r = c != 0
+		case expr.CmpLt:
+			r = c < 0
+		case expr.CmpLe:
+			r = c <= 0
+		case expr.CmpGt:
+			r = c > 0
+		default:
+			r = c >= 0
+		}
+		if r {
+			out[i].I = 1
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package vector
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"aqe/internal/exec"
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+	"aqe/internal/storage"
+	"aqe/internal/tpch"
+	"aqe/internal/volcano"
+)
+
+var cat = tpch.Gen(0.005)
+
+func canon(rows [][]expr.Datum, schema []plan.ColDef) []string {
+	out := make([]string, len(rows))
+	for i, row := range rows {
+		var sb strings.Builder
+		for j, d := range row {
+			switch schema[j].T.Kind {
+			case expr.KFloat:
+				fmt.Fprintf(&sb, "|%.5g", d.F)
+			case expr.KString:
+				fmt.Fprintf(&sb, "|%s", d.S)
+			default:
+				fmt.Fprintf(&sb, "|%d", d.I)
+			}
+		}
+		out[i] = sb.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runStages executes a multi-stage query with the given single-plan runner.
+func runStages(t *testing.T, q plan.Query,
+	run func(plan.Node) ([][]expr.Datum, error)) ([][]expr.Datum, []plan.ColDef) {
+	t.Helper()
+	prior := make(map[string]*storage.Table)
+	var rows [][]expr.Datum
+	var schema []plan.ColDef
+	for i, st := range q.Stages {
+		node := st.Build(prior)
+		var err error
+		rows, err = run(node)
+		if err != nil {
+			t.Fatalf("%s stage %s: %v", q.Name, st.Name, err)
+		}
+		schema = node.Schema()
+		if i < len(q.Stages)-1 {
+			res := &exec.Result{Rows: rows}
+			for _, c := range schema {
+				res.Cols = append(res.Cols, c.Name)
+				res.Types = append(res.Types, c.T)
+			}
+			prior[st.Name] = res.ToTable(st.Name)
+		}
+	}
+	return rows, schema
+}
+
+// TestVectorMatchesVolcanoOnTPCH checks the column-at-a-time engine against
+// the tuple-at-a-time oracle on every TPC-H query.
+func TestVectorMatchesVolcanoOnTPCH(t *testing.T) {
+	for qn := 1; qn <= 22; qn++ {
+		want, schema := runStages(t, tpch.Query(cat, qn), volcano.Run)
+		got, _ := runStages(t, tpch.Query(cat, qn), Run)
+		w, g := canon(want, schema), canon(got, schema)
+		if len(w) != len(g) {
+			t.Errorf("Q%d: vector %d rows, volcano %d", qn, len(g), len(w))
+			continue
+		}
+		for i := range w {
+			if w[i] != g[i] {
+				t.Errorf("Q%d row %d:\n vector %s\nvolcano %s", qn, i, g[i], w[i])
+				break
+			}
+		}
+	}
+}
+
+func TestVectorTrapsPropagate(t *testing.T) {
+	v := storage.NewColumn("v", storage.Int64)
+	for i := 0; i < 4; i++ {
+		v.AppendInt64(1 << 62)
+	}
+	tbl := storage.NewTable("big", v)
+	s := plan.NewScan(tbl, "v")
+	g := plan.NewGroupBy(s, nil, nil, []plan.AggExpr{
+		{Func: plan.Sum, Arg: plan.C(s.Schema(), "v"), Name: "s"}})
+	if _, err := Run(g); err == nil {
+		t.Fatal("expected overflow")
+	}
+}

@@ -1,0 +1,194 @@
+// Package vm implements the paper's fast bytecode interpreter (§IV): a
+// register machine with a fixed-length, statically typed instruction
+// encoding that mostly mirrors the IR instruction set, a linear-time
+// translator from IR using the loop-aware liveness analysis, macro-op
+// fusion for frequent instruction sequences (overflow checks, address
+// computation + memory access, compare + branch), and a switch-dispatch
+// interpreter loop.
+package vm
+
+// Op is a bytecode opcode. The type is baked into the opcode (add_i64,
+// add_f64, ...) so the interpreter needs no runtime type dispatch, unlike
+// the generic IR whose single "add" covers all operand widths (§IV).
+type Op uint16
+
+// Opcodes. Instruction operands: A, B, C are register-file slot indexes
+// (or instruction indexes for branch targets); Lit is a 64-bit literal.
+const (
+	OpNop Op = iota
+
+	// Mov: regs[A] = regs[B].
+	OpMov
+
+	// i64 arithmetic: regs[A] = regs[B] <op> regs[C]. Division traps on a
+	// zero divisor.
+	OpAddI64
+	OpSubI64
+	OpMulI64
+	OpSDivI64
+	OpSRemI64
+	OpUDivI64
+	OpURemI64
+
+	// f64 arithmetic (IEEE bit patterns in the registers).
+	OpAddF64
+	OpSubF64
+	OpMulF64
+	OpDivF64
+
+	// Bitwise on i64.
+	OpAnd64
+	OpOr64
+	OpXor64
+	OpShl64
+	OpLShr64
+	OpAShr64
+
+	// Comparisons: regs[A] = regs[B] <pred> regs[C] ? 1 : 0.
+	OpCmpEqI64
+	OpCmpNeI64
+	OpCmpSLtI64
+	OpCmpSLeI64
+	OpCmpSGtI64
+	OpCmpSGeI64
+	OpCmpULtI64
+	OpCmpULeI64
+	OpCmpUGtI64
+	OpCmpUGeI64
+
+	OpCmpEqF64
+	OpCmpNeF64
+	OpCmpLtF64
+	OpCmpLeF64
+	OpCmpGtF64
+	OpCmpGeF64
+
+	// Unfused overflow-checked arithmetic: value to regs[A], flag to
+	// regs[A+1] (pair values occupy two consecutive slots).
+	OpSAddOvf
+	OpSSubOvf
+	OpSMulOvf
+
+	// Fused overflow-checked arithmetic + branch (§IV-F): regs[A] =
+	// regs[B] <op> regs[C]; on overflow jump to Lit>>32, otherwise to
+	// uint32(Lit). This folds the four-instruction LLVM sequence
+	// (ovf-op, extractvalue 0, extractvalue 1, condbr) into one opcode.
+	OpSAddOvfBr
+	OpSSubOvfBr
+	OpSMulOvfBr
+
+	// Conversions: regs[A] = conv(regs[B]).
+	OpSExt8
+	OpSExt16
+	OpSExt32
+	OpTrunc8
+	OpTrunc16
+	OpTrunc32
+	OpSIToFP
+	OpFPToSI
+
+	// Plain memory access: address in regs[B] (value register A). Narrow
+	// loads zero-extend.
+	OpLoadI8
+	OpLoadI16
+	OpLoadI32
+	OpLoadI64
+	OpStoreI8
+	OpStoreI16
+	OpStoreI32
+	OpStoreI64
+
+	// Fused address computation + access (§IV-F): the GetElementPtr
+	// followed by load/store pattern collapses into one opcode.
+	// addr = regs[B] + regs[C]*scale + disp with Lit = scale<<32 |
+	// uint32(disp); A is the value register.
+	OpLoadIdxI8
+	OpLoadIdxI16
+	OpLoadIdxI32
+	OpLoadIdxI64
+	OpStoreIdxI8
+	OpStoreIdxI16
+	OpStoreIdxI32
+	OpStoreIdxI64
+
+	// Lea: standalone address computation, same encoding as LoadIdx but
+	// regs[A] receives the address.
+	OpLea
+
+	// Select: regs[A] = regs[B] != 0 ? regs[C] : regs[Lit].
+	OpSelect
+
+	// Control flow. Branch targets are instruction indexes.
+	OpJmp   // pc = A
+	OpJmpIf // pc = regs[A] != 0 ? B : C
+
+	// Fused compare + branch: pc = (regs[A] <pred> regs[B]) ? C : Lit.
+	OpJEqI64
+	OpJNeI64
+	OpJSLtI64
+	OpJSLeI64
+	OpJSGtI64
+	OpJSGeI64
+	OpJULtI64
+	OpJULeI64
+	OpJUGtI64
+	OpJUGeI64
+
+	// Extern calls: Arg stages ctx.Args[A] = regs[B]; Call invokes extern
+	// Lit with B staged arguments, result to regs[A] (A < 0: void).
+	OpArg
+	OpCall
+
+	OpRet // return regs[A]
+	OpRetVoid
+
+	opCount // sentinel
+)
+
+var opNames = [...]string{
+	OpNop: "nop", OpMov: "mov",
+	OpAddI64: "add_i64", OpSubI64: "sub_i64", OpMulI64: "mul_i64",
+	OpSDivI64: "sdiv_i64", OpSRemI64: "srem_i64", OpUDivI64: "udiv_i64", OpURemI64: "urem_i64",
+	OpAddF64: "add_f64", OpSubF64: "sub_f64", OpMulF64: "mul_f64", OpDivF64: "div_f64",
+	OpAnd64: "and_i64", OpOr64: "or_i64", OpXor64: "xor_i64",
+	OpShl64: "shl_i64", OpLShr64: "lshr_i64", OpAShr64: "ashr_i64",
+	OpCmpEqI64: "icmp_eq_i64", OpCmpNeI64: "icmp_ne_i64",
+	OpCmpSLtI64: "icmp_slt_i64", OpCmpSLeI64: "icmp_sle_i64",
+	OpCmpSGtI64: "icmp_sgt_i64", OpCmpSGeI64: "icmp_sge_i64",
+	OpCmpULtI64: "icmp_ult_i64", OpCmpULeI64: "icmp_ule_i64",
+	OpCmpUGtI64: "icmp_ugt_i64", OpCmpUGeI64: "icmp_uge_i64",
+	OpCmpEqF64: "fcmp_eq_f64", OpCmpNeF64: "fcmp_ne_f64",
+	OpCmpLtF64: "fcmp_lt_f64", OpCmpLeF64: "fcmp_le_f64",
+	OpCmpGtF64: "fcmp_gt_f64", OpCmpGeF64: "fcmp_ge_f64",
+	OpSAddOvf: "sadd_ovf", OpSSubOvf: "ssub_ovf", OpSMulOvf: "smul_ovf",
+	OpSAddOvfBr: "sadd_ovf_br", OpSSubOvfBr: "ssub_ovf_br", OpSMulOvfBr: "smul_ovf_br",
+	OpSExt8: "sext_i8", OpSExt16: "sext_i16", OpSExt32: "sext_i32",
+	OpTrunc8: "trunc_i8", OpTrunc16: "trunc_i16", OpTrunc32: "trunc_i32",
+	OpSIToFP: "sitofp", OpFPToSI: "fptosi",
+	OpLoadI8: "load_i8", OpLoadI16: "load_i16", OpLoadI32: "load_i32", OpLoadI64: "load_i64",
+	OpStoreI8: "store_i8", OpStoreI16: "store_i16", OpStoreI32: "store_i32", OpStoreI64: "store_i64",
+	OpLoadIdxI8: "load_idx_i8", OpLoadIdxI16: "load_idx_i16",
+	OpLoadIdxI32: "load_idx_i32", OpLoadIdxI64: "load_idx_i64",
+	OpStoreIdxI8: "store_idx_i8", OpStoreIdxI16: "store_idx_i16",
+	OpStoreIdxI32: "store_idx_i32", OpStoreIdxI64: "store_idx_i64",
+	OpLea: "lea", OpSelect: "select",
+	OpJmp: "jmp", OpJmpIf: "jmpif",
+	OpJEqI64: "jeq_i64", OpJNeI64: "jne_i64",
+	OpJSLtI64: "jslt_i64", OpJSLeI64: "jsle_i64", OpJSGtI64: "jsgt_i64", OpJSGeI64: "jsge_i64",
+	OpJULtI64: "jult_i64", OpJULeI64: "jule_i64", OpJUGtI64: "jugt_i64", OpJUGeI64: "juge_i64",
+	OpArg: "arg", OpCall: "call",
+	OpRet: "ret", OpRetVoid: "ret_void",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// NumOpcodes is the size of the instruction set, reported in documentation
+// and tests (the paper's VM handles ~500 instruction/type combinations; we
+// widen all integers to 64 bits in registers, which collapses most of the
+// width-specialized variants).
+const NumOpcodes = int(opCount)

@@ -1,0 +1,72 @@
+package vm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Inst is one fixed-length bytecode instruction (§IV-A: "We use a fixed
+// length encoding for the opcodes to improve the decoding speed").
+type Inst struct {
+	Op      Op
+	A, B, C int32
+	Lit     uint64
+}
+
+// Program is a translated function ready for interpretation.
+type Program struct {
+	Name string
+	Code []Inst
+
+	// NumRegs is the register-file size in slots (8 bytes each),
+	// including the constant-pool prefix and parameter slots.
+	NumRegs int
+
+	// ConstPool is copied into the register-file prefix on entry; slots 0
+	// and 1 always hold the constants 0 and 1 (§IV-A).
+	ConstPool []uint64
+
+	// ParamBase is the slot of the first parameter; arguments are written
+	// to slots [ParamBase, ParamBase+NumParams).
+	ParamBase int
+	NumParams int
+
+	// Translation statistics.
+	SourceInstrs int // IR instructions translated
+	Fused        int // IR instructions subsumed by macro-op fusion (§IV-F)
+}
+
+// RegFileBytes returns the register-file footprint (the §IV-C metric: the
+// loop-aware allocator shrinks TPC-DS Q55 from 36 KB to 6 KB in the paper).
+func (p *Program) RegFileBytes() int { return p.NumRegs * 8 }
+
+// String disassembles the program.
+func (p *Program) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s: %d insts, %d regs (%d B), %d params @%d\n",
+		p.Name, len(p.Code), p.NumRegs, p.RegFileBytes(), p.NumParams, p.ParamBase)
+	for i, in := range p.Code {
+		fmt.Fprintf(&sb, "%4d  %-14s %d %d %d", i, in.Op, in.A, in.B, in.C)
+		if in.Lit != 0 {
+			fmt.Fprintf(&sb, " lit=%#x", in.Lit)
+		}
+		sb.WriteByte('\n')
+		_ = i
+	}
+	return sb.String()
+}
+
+// packScaleDisp packs a (scale, disp) pair into an instruction literal for
+// the Lea/LoadIdx/StoreIdx encodings.
+func packScaleDisp(scale, disp int64) uint64 {
+	return uint64(scale)<<32 | uint64(uint32(int32(disp)))
+}
+
+func unpackScale(lit uint64) int64 { return int64(lit >> 32) }
+func unpackDisp(lit uint64) int64  { return int64(int32(uint32(lit))) }
+
+// packTargets packs (cont, other) branch targets for the fused
+// overflow-branch encoding: overflow target in the high half.
+func packTargets(onTrue, onFalse int) uint64 {
+	return uint64(uint32(onTrue))<<32 | uint64(uint32(onFalse))
+}
