@@ -69,6 +69,11 @@ type Options struct {
 	Cost *CostModel
 	// Trace records per-morsel execution traces on every result.
 	Trace bool
+	// CacheBytes is the byte budget of the plan-fingerprint compilation
+	// cache that lets repeated queries skip translation and start in the
+	// best previously compiled tier. 0 selects the default (64 MiB);
+	// negative disables caching.
+	CacheBytes int64
 }
 
 // Result is a materialized query result (see exec.Result).
@@ -85,8 +90,14 @@ type DB struct {
 
 // Open creates a database.
 func Open(opts Options) *DB {
+	cacheBytes := opts.CacheBytes
+	if cacheBytes == 0 {
+		cacheBytes = 64 << 20
+	} else if cacheBytes < 0 {
+		cacheBytes = 0
+	}
 	eopts := exec.Options{Workers: opts.Workers, Mode: opts.Mode,
-		Cost: opts.Cost, Trace: opts.Trace}
+		Cost: opts.Cost, Trace: opts.Trace, CacheBytes: cacheBytes}
 	if eopts.Mode == 0 && opts.Cost == nil {
 		eopts.Mode = ModeAdaptive
 	}

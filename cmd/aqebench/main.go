@@ -5,7 +5,8 @@
 //	aqebench -exp all            # everything at the default scale
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
-// Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc.
+// Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
+// cache.
 package main
 
 import (
@@ -39,10 +40,11 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
+	cacheFlag = flag.Int64("cache", 64<<20, "plan-cache byte budget for the cache experiment (0 disables)")
 )
 
 func main() {
@@ -62,6 +64,7 @@ func main() {
 	run("table1", table1)
 	run("table2", table2)
 	run("regalloc", regalloc)
+	run("cache", cacheExp)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -441,6 +444,61 @@ func regalloc() {
 	for _, n := range []int{100, 400} {
 		report(fmt.Sprintf("synth%d", n), synth.WideAggPlan(st, n))
 	}
+}
+
+// ---- cache: cold vs warm repeated-query latency through the plan cache ----
+
+// cacheExp models the interactive / dashboard workload the compilation cache
+// targets: the same query text arrives again and again. Each query runs once
+// cold (translate + compile paid) and once warm (served from the
+// fingerprint-keyed cache) on the same engine; the cost model is the
+// paper-calibrated LLVM latency, so the warm column shows exactly the
+// compilation wait the cache removes.
+func cacheExp() {
+	cat := catalog(*sfFlag)
+	fmt.Printf("repeated TPC-H queries at SF %.2f, %d workers, cache budget %d KiB\n",
+		*sfFlag, *workers, *cacheFlag>>10)
+	queries := []int{1, 3, 5, 6, 12, 14, 19}
+	for _, mode := range []exec.Mode{exec.ModeOptimized, exec.ModeAdaptive} {
+		e := exec.New(exec.Options{Workers: *workers, Mode: mode,
+			Cost: exec.Paper(), CacheBytes: *cacheFlag})
+		fmt.Printf("--- %s ---\n", mode)
+		fmt.Printf("%-6s %12s %12s %12s %12s %12s %12s %12s %12s\n",
+			"query", "c.trans[ms]", "c.comp[ms]", "c.exec[ms]", "c.total[ms]",
+			"w.trans[ms]", "w.comp[ms]", "w.exec[ms]", "w.total[ms]")
+		var coldTot, warmTot time.Duration
+		for _, qn := range queries {
+			q := tpch.Query(cat, qn)
+			t0 := time.Now()
+			cold, err := e.Run(q)
+			coldD := time.Since(t0)
+			if err != nil {
+				fmt.Printf("Q%d: %v\n", qn, err)
+				continue
+			}
+			t0 = time.Now()
+			warm, err := e.Run(q)
+			warmD := time.Since(t0)
+			if err != nil {
+				fmt.Printf("Q%d warm: %v\n", qn, err)
+				continue
+			}
+			if !warm.Stats.CacheHit {
+				fmt.Printf("Q%d: warm run missed the cache!\n", qn)
+			}
+			coldTot += coldD
+			warmTot += warmD
+			fmt.Printf("%-6s %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f %12.2f\n",
+				fmt.Sprintf("Q%d", qn),
+				ms(cold.Stats.Translate), ms(cold.Stats.Compile), ms(cold.Stats.Exec), ms(coldD),
+				ms(warm.Stats.Translate), ms(warm.Stats.Compile), ms(warm.Stats.Exec), ms(warmD))
+		}
+		st := e.CacheStats()
+		fmt.Printf("total cold %.2f ms, warm %.2f ms (%.1fx); cache: %d entries, %d KiB/%d KiB, %d hits, %d misses, %d evictions\n",
+			ms(coldTot), ms(warmTot), ms(coldTot)/ms(warmTot),
+			st.Entries, st.Bytes>>10, st.Budget>>10, st.Hits, st.Misses, st.Evictions)
+	}
+	fmt.Println("(cold pays translation plus the paper-calibrated LLVM latency; warm starts in the best cached tier)")
 }
 
 type aqeDatum = expr.Datum

@@ -32,8 +32,10 @@ type Query struct {
 	Patterns []string
 
 	// Literals is the string-literal segment; codegen pre-registered it
-	// and embedded its addresses as constants.
+	// and embedded its addresses as constants. LitLen is the number of
+	// bytes actually interned (the fingerprint hashes only this prefix).
 	Literals []byte
+	LitLen   int
 
 	// Output describes how to decode the result rows of the final
 	// pipeline; Sort/Limit apply to the decoded rows.
@@ -132,6 +134,7 @@ func Compile(root plan.Node, mem *rt.Memory, name string) (*Query, error) {
 	if err != nil {
 		return nil, err
 	}
+	g.q.LitLen = g.litOff
 	for _, f := range g.mod.Funcs {
 		if verr := f.Verify(); verr != nil {
 			return nil, fmt.Errorf("codegen: generated %s is invalid: %w", f.Name, verr)

@@ -54,12 +54,27 @@ type Options struct {
 	VM vm.Options
 	// MorselSize overrides the initial morsel size (default 2048).
 	MorselSize int64
+	// CacheBytes is the byte budget of the plan-fingerprint compilation
+	// cache; 0 disables caching (every query translates and compiles from
+	// scratch, the paper's experiment setup).
+	CacheBytes int64
+	// CompileWorkers bounds concurrent background compilations across all
+	// queries on this engine (default 2). The adaptive controller submits
+	// to this shared pool instead of spawning per-query goroutines.
+	CompileWorkers int
 }
 
 // Engine executes plans.
 type Engine struct {
-	opts Options
-	reg  *rt.Registry
+	opts  Options
+	reg   *rt.Registry
+	cache *planCache   // nil when CacheBytes == 0
+	pool  *compilePool // shared background compile service
+
+	// morselHook, when set (tests only), runs after every dispatched
+	// morsel on the worker goroutine; the mode-switch stress test uses it
+	// to force tier changes at every morsel boundary.
+	morselHook func(pipeline int, h *Handle, worker int)
 }
 
 // New creates an engine.
@@ -73,7 +88,14 @@ func New(opts Options) *Engine {
 	if opts.MorselSize <= 0 {
 		opts.MorselSize = 2048
 	}
-	e := &Engine{opts: opts, reg: rt.NewRegistry()}
+	if opts.CompileWorkers <= 0 {
+		opts.CompileWorkers = 2
+	}
+	e := &Engine{opts: opts, reg: rt.NewRegistry(),
+		pool: newCompilePool(opts.CompileWorkers)}
+	if opts.CacheBytes > 0 {
+		e.cache = newPlanCache(opts.CacheBytes)
+	}
 	rt.RegisterBuiltins(e.reg)
 	e.reg.Register("pipeline_run", func(ctx *rt.Ctx, args []uint64) uint64 {
 		qr := ctx.Query.(*rt.QueryState).Eng.(*queryRun)
@@ -85,6 +107,15 @@ func New(opts Options) *Engine {
 
 // Options returns the engine configuration.
 func (e *Engine) Options() Options { return e.opts }
+
+// CacheStats snapshots the compilation-cache counters (zero value when
+// caching is disabled).
+func (e *Engine) CacheStats() CacheStats {
+	if e.cache == nil {
+		return CacheStats{}
+	}
+	return e.cache.stats()
+}
 
 // Stats describes one executed stage (the last stage's stats are the
 // query's).
@@ -101,6 +132,13 @@ type Stats struct {
 	Compilations int     // adaptive compilations launched
 	RegFileBytes int     // largest bytecode register file
 	FusedOps     int     // macro-ops fused across pipelines (§IV-F)
+
+	// Fingerprint is the plan fingerprint (abbreviated hex); CacheHit
+	// reports whether translation/compilation was served from the cache,
+	// and Cache snapshots the engine-wide cache counters at completion.
+	Fingerprint string
+	CacheHit    bool
+	Cache       CacheStats
 }
 
 // Result is a materialized query result.
@@ -228,6 +266,9 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 	st.Total = time.Since(t0)
 	for _, h := range qr.handles {
 		st.FinalLevels = append(st.FinalLevels, h.Level())
+	}
+	if e.cache != nil {
+		st.Cache = e.cache.stats()
 	}
 	res := &Result{Rows: rows, Stats: st, Trace: qr.trace}
 	for _, c := range cq.Schema {

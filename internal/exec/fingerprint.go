@@ -1,0 +1,67 @@
+package exec
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"aqe/internal/codegen"
+	"aqe/internal/vm"
+)
+
+// Fingerprint canonically identifies the executable form of a compiled
+// query: the IR module (instructions, types, constants, extern names), the
+// interned string literals and LIKE patterns, the pipeline structure, and
+// the bytecode translator configuration. Two plans with equal fingerprints
+// code-generate byte-identical modules under identical translator options,
+// so translated bytecode and installed closures can be shared between them
+// — all run-specific bindings (segment contents, extern functions, query
+// state) are re-established per execution and addressed indirectly.
+type Fingerprint [sha256.Size]byte
+
+// Short returns an abbreviated hex form for logs and stats.
+func (f Fingerprint) Short() string { return hex.EncodeToString(f[:8]) }
+
+// fingerprintVersion guards the canonical encoding: bump it whenever the
+// encoding of any hashed component changes, so stale equalities cannot
+// survive a refactor within a process (and, later, on disk).
+const fingerprintVersion = 1
+
+// fingerprintOf hashes a code-generated query under the engine's
+// translator options.
+func fingerprintOf(cq *codegen.Query, vopts vm.Options) Fingerprint {
+	h := sha256.New()
+	var hdr [16]byte
+	hdr[0] = fingerprintVersion
+	hdr[1] = byte(vopts.Strategy)
+	if vopts.NoFusion {
+		hdr[2] = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(vopts.WindowSize))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(cq.Pipelines)))
+	h.Write(hdr[:])
+
+	buf := make([]byte, 0, 1<<14)
+	buf = cq.Module.AppendCanonical(buf)
+	for _, pl := range cq.Pipelines {
+		buf = binary.LittleEndian.AppendUint32(buf,
+			uint32(int32(pl.AggSource)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(pl.SinkJoin)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(pl.SinkAgg)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(int32(pl.SinkOut)))
+	}
+	h.Write(buf)
+	// Literal and pattern contents do not change the generated code (they
+	// are addressed indirectly), but hashing them keeps the invariant
+	// "different query text → different fingerprint" intuitive.
+	h.Write(cq.Literals[:cq.LitLen])
+	for _, p := range cq.Patterns {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}

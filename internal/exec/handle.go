@@ -54,7 +54,16 @@ func NewHandle(fn *ir.Function, opts vm.Options) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Handle{Fn: fn, Prog: prog, Instrs: fn.NumInstrs()}, nil
+	return HandleFor(fn, prog), nil
+}
+
+// HandleFor wraps an already-translated program — the compilation cache
+// hands out shared Programs this way. Programs and Compiled closures are
+// immutable and safe for concurrent use with distinct contexts, so many
+// in-flight queries can share them; the Handle itself carries the per-run
+// dispatch state (tier, in-flight compile flag).
+func HandleFor(fn *ir.Function, prog *vm.Program) *Handle {
+	return &Handle{Fn: fn, Prog: prog, Instrs: fn.NumInstrs()}
 }
 
 // Level returns the currently installed tier.

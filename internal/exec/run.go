@@ -21,6 +21,7 @@ type queryRun struct {
 	mem   *rt.Memory
 	qs    *rt.QueryState
 	stats *Stats
+	fp    Fingerprint
 
 	handles    []*Handle
 	queryStart *vm.Program
@@ -33,38 +34,64 @@ type queryRun struct {
 	failed error
 }
 
-// newQueryRun binds externs, translates all worker functions to bytecode,
-// performs up-front compilation for the static modes, and builds the
-// runtime state the code generator's descriptors require.
+// newQueryRun binds externs, translates all worker functions to bytecode
+// (or adopts the cached translation on a fingerprint hit), performs
+// up-front compilation for the static modes, and builds the runtime state
+// the code generator's descriptors require.
 func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*queryRun, error) {
 	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st}
 	if e.opts.Trace {
 		qr.trace = NewTrace()
 	}
+	qr.fp = fingerprintOf(cq, e.opts.VM)
+	st.Fingerprint = qr.fp.Short()
 
 	tTr := time.Now()
-	for _, pl := range cq.Pipelines {
-		h, err := NewHandle(pl.Fn, e.opts.VM)
+	var ent *cachedPlan
+	if e.cache != nil {
+		if ent = e.cache.lookup(qr.fp); ent != nil && len(ent.pipes) != len(cq.Pipelines) {
+			ent = nil // fingerprint collision paranoia: treat as a miss
+		}
+	}
+	if ent != nil {
+		st.CacheHit = true
+		qr.queryStart = ent.queryStart
+		for i, pl := range cq.Pipelines {
+			qr.handles = append(qr.handles, HandleFor(pl.Fn, ent.pipes[i].prog))
+		}
+	} else {
+		var progs []*vm.Program
+		for _, pl := range cq.Pipelines {
+			h, err := NewHandle(pl.Fn, e.opts.VM)
+			if err != nil {
+				return nil, err
+			}
+			qr.handles = append(qr.handles, h)
+			progs = append(progs, h.Prog)
+		}
+		qsProg, err := vm.Translate(cq.QueryStart, e.opts.VM)
 		if err != nil {
 			return nil, err
 		}
+		qr.queryStart = qsProg
+		if e.cache != nil {
+			e.cache.insert(qr.fp, qsProg, progs)
+		}
+	}
+	for _, h := range qr.handles {
 		h.UseIRInterp = e.opts.Mode == ModeIRInterp
-		qr.handles = append(qr.handles, h)
 		if h.Prog.RegFileBytes() > st.RegFileBytes {
 			st.RegFileBytes = h.Prog.RegFileBytes()
 		}
 		st.FusedOps += h.Prog.Fused
 	}
-	qsProg, err := vm.Translate(cq.QueryStart, e.opts.VM)
-	if err != nil {
-		return nil, err
-	}
-	qr.queryStart = qsProg
 	st.Translate = time.Since(tTr)
 
 	// Static compiled modes compile the whole module up-front,
 	// single-threaded, before execution starts (§II-A) — this is the
-	// latency the adaptive mode exists to avoid.
+	// latency the adaptive mode exists to avoid. A cache hit skips both
+	// the compilation and its simulated latency: the artifact exists, so
+	// there is nothing to wait for.
 	if e.opts.Mode == ModeUnoptimized || e.opts.Mode == ModeOptimized {
 		tC := time.Now()
 		level := jit.Unoptimized
@@ -73,14 +100,26 @@ func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*que
 			level = jit.Optimized
 			hl = LevelOptimized
 		}
-		for _, h := range qr.handles {
-			c, cerr := jit.Compile(h.Fn, level, h.Prog)
-			if cerr != nil {
-				return nil, cerr
+		compiledAny := false
+		for i, h := range qr.handles {
+			var c *jit.Compiled
+			if ent != nil {
+				c = ent.pipes[i].compiled[level]
+			}
+			if c == nil {
+				var cerr error
+				c, cerr = jit.Compile(h.Fn, level, h.Prog)
+				if cerr != nil {
+					return nil, cerr
+				}
+				compiledAny = true
+				if e.cache != nil {
+					e.cache.addCompiled(qr.fp, i, level, c)
+				}
 			}
 			h.Install(c, hl)
 		}
-		if e.opts.Cost.Simulate {
+		if e.opts.Cost.Simulate && compiledAny {
 			d := qr.modelCompileTime(hl, st.Instrs, maxFnInstrs(cq))
 			time.Sleep(d)
 		}
@@ -88,6 +127,19 @@ func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*que
 		if qr.trace != nil {
 			qr.trace.Add(Event{Kind: EvCompile, Pipeline: -1, Worker: -1,
 				Level: hl, Start: 0, End: qr.trace.Since(time.Now())})
+		}
+	}
+
+	// An adaptive query that hits the cache starts every pipeline in the
+	// best tier any earlier execution reached — no re-climbing through
+	// bytecode (the controller can still upgrade unoptimized pipelines).
+	if e.opts.Mode == ModeAdaptive && ent != nil {
+		for i, h := range qr.handles {
+			if c := ent.pipes[i].compiled[jit.Optimized]; c != nil {
+				h.Install(c, LevelOptimized)
+			} else if c := ent.pipes[i].compiled[jit.Unoptimized]; c != nil {
+				h.Install(c, LevelUnoptimized)
+			}
 		}
 	}
 
@@ -355,6 +407,9 @@ func (qr *queryRun) worker(w int, pl *codegen.Pipeline, h *Handle, pr *progress,
 					Worker: w, Level: lvl, Start: qr.trace.Since(t0),
 					End: qr.trace.Since(t0) + d, Tuples: end - begin})
 			}
+			if qr.eng.morselHook != nil {
+				qr.eng.morselHook(pl.ID, h, w)
+			}
 			if qr.eng.opts.Mode == ModeAdaptive {
 				qr.evaluate(pl, h, pr)
 			}
@@ -425,12 +480,12 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 		return
 	}
 	qr.stats.Compilations++
-	go qr.compileTask(pl, h, pr, best)
+	qr.eng.pool.submit(func() { qr.compileTask(pl, h, pr, best) })
 }
 
-// compileTask runs on a background goroutine: it (optionally) sleeps the
-// modeled LLVM-scale latency, really compiles the function, installs the
-// variant and resets the rate samples.
+// compileTask runs on a shared compile-pool worker: it (optionally) sleeps
+// the modeled LLVM-scale latency, really compiles the function, installs
+// the variant, publishes it to the cache, and resets the rate samples.
 func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l Level) {
 	t0 := time.Now()
 	m := qr.eng.opts.Cost
@@ -455,6 +510,9 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 		return
 	}
 	h.Install(c, l)
+	if qr.eng.cache != nil {
+		qr.eng.cache.addCompiled(qr.fp, pl.ID, level, c)
+	}
 	pr.resetRates()
 	if qr.trace != nil {
 		now := time.Now()

@@ -1,0 +1,102 @@
+package ir
+
+import "encoding/binary"
+
+// AppendCanonical appends a canonical byte encoding of the module to buf
+// and returns the extended slice. The encoding covers everything that
+// determines the module's executable semantics — extern signatures,
+// function signatures, constants, and every instruction with its operand,
+// target and incoming-block references — in a deterministic order, so two
+// modules produced by identical code generation runs encode identically
+// and any structural difference (an opcode, a predicate, a constant bit
+// pattern, an extern name) changes the bytes.
+//
+// It exists for plan-fingerprint caching: the execution engine hashes this
+// encoding to recognize recompilations of the same query shape. Value and
+// block IDs are included as references; they are deterministic because
+// codegen allocates them in emission order.
+func (m *Module) AppendCanonical(buf []byte) []byte {
+	buf = appendU32(buf, uint32(len(m.Externs)))
+	for _, ex := range m.Externs {
+		buf = appendStr(buf, ex.Name)
+		buf = append(buf, byte(ex.Ret), byte(len(ex.Args)))
+		for _, a := range ex.Args {
+			buf = append(buf, byte(a))
+		}
+	}
+	buf = appendU32(buf, uint32(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		buf = f.appendCanonical(buf)
+	}
+	return buf
+}
+
+func (f *Function) appendCanonical(buf []byte) []byte {
+	buf = append(buf, byte(len(f.Params)))
+	for _, p := range f.Params {
+		buf = append(buf, byte(p.Type))
+		buf = appendU32(buf, uint32(p.ID))
+	}
+	consts := f.Constants()
+	buf = appendU32(buf, uint32(len(consts)))
+	for _, c := range consts {
+		buf = appendU32(buf, uint32(c.ID))
+		buf = append(buf, byte(c.Type))
+		buf = appendU64(buf, c.Const)
+	}
+	buf = appendU32(buf, uint32(len(f.Blocks)))
+	for _, b := range f.Blocks {
+		buf = appendU32(buf, uint32(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			buf = appendInstr(buf, in)
+		}
+		if b.Term != nil {
+			buf = append(buf, 1)
+			buf = appendInstr(buf, b.Term)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	return buf
+}
+
+func appendInstr(buf []byte, v *Value) []byte {
+	buf = append(buf, byte(v.Op), byte(v.Type), byte(v.Pred))
+	buf = appendU32(buf, uint32(v.ID))
+	buf = append(buf, byte(len(v.Args)))
+	for _, a := range v.Args {
+		buf = appendU32(buf, uint32(a.ID))
+	}
+	buf = append(buf, byte(len(v.Targets)))
+	for _, t := range v.Targets {
+		buf = appendU32(buf, uint32(t.ID))
+	}
+	buf = append(buf, byte(len(v.Incoming)))
+	for _, b := range v.Incoming {
+		buf = appendU32(buf, uint32(b.ID))
+	}
+	if v.Lit != 0 || v.Lit2 != 0 || v.Op == OpGEP || v.Op == OpExtractValue {
+		buf = append(buf, 1)
+		buf = appendU64(buf, v.Lit)
+		buf = appendU64(buf, v.Lit2)
+	} else {
+		buf = append(buf, 0)
+	}
+	if v.Op == OpCall {
+		buf = appendU32(buf, uint32(v.Callee))
+	}
+	return buf
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(buf, v)
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	return binary.LittleEndian.AppendUint64(buf, v)
+}
+
+func appendStr(buf []byte, s string) []byte {
+	buf = appendU32(buf, uint32(len(s)))
+	return append(buf, s...)
+}

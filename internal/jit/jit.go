@@ -84,6 +84,17 @@ type Stats struct {
 // NumRegs returns the register-file size in slots.
 func (c *Compiled) NumRegs() int { return c.numRegs }
 
+// closureBytes estimates the retained footprint of one generated closure
+// (the closure header plus captured values); cache accounting only needs
+// the order of magnitude.
+const closureBytes = 80
+
+// SizeBytes estimates the retained in-memory footprint of the compiled
+// function for compilation-cache byte budgeting.
+func (c *Compiled) SizeBytes() int {
+	return 96 + len(c.Name) + len(c.constPool)*8 + c.Stats.Closures*closureBytes
+}
+
 // Run executes the compiled function. It is safe for concurrent use with
 // distinct contexts: all mutable state lives in the frame and the context.
 func (c *Compiled) Run(ctx *rt.Ctx, args []uint64) uint64 {

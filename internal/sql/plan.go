@@ -14,7 +14,20 @@ import (
 // conditions to build a left-deep hash-join tree in FROM order, applies
 // remaining predicates as residual filters, and lowers aggregation,
 // ordering and limits.
-func Plan(query string, cat *storage.Catalog) (plan.Node, error) {
+func Plan(query string, cat *storage.Catalog) (node plan.Node, err error) {
+	// The expr and plan constructors treat type violations as programming
+	// errors and panic; here they are user errors (e.g. `date * string`),
+	// so convert their panics into planning errors at this boundary.
+	defer func() {
+		if r := recover(); r != nil {
+			msg := fmt.Sprint(r)
+			if strings.HasPrefix(msg, "expr:") || strings.HasPrefix(msg, "plan:") {
+				node, err = nil, fmt.Errorf("sql: %s", msg)
+				return
+			}
+			panic(r)
+		}
+	}()
 	a, err := parse(query)
 	if err != nil {
 		return nil, err
@@ -475,7 +488,11 @@ func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Exp
 	case nStr:
 		return expr.Str(x.s), nil
 	case nDate:
-		return expr.Date(storage.MustParseDate(x.s)), nil
+		d, err := storage.ParseDate(x.s)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad DATE literal %q: %v", x.s, err)
+		}
+		return expr.Date(d), nil
 	case nBin:
 		l, err := b.bind(x.l, schema, outNames)
 		if err != nil {

@@ -240,13 +240,22 @@ func DaysFromDate(year, month, day int) int64 {
 	return int64(t.Sub(Epoch).Hours() / 24)
 }
 
+// ParseDate parses "YYYY-MM-DD" into days since the epoch.
+func ParseDate(s string) (int64, error) {
+	t, err := time.Parse("2006-01-02", s)
+	if err != nil {
+		return 0, err
+	}
+	return int64(t.Sub(Epoch).Hours() / 24), nil
+}
+
 // MustParseDate parses "YYYY-MM-DD" into days since the epoch.
 func MustParseDate(s string) int64 {
-	t, err := time.Parse("2006-01-02", s)
+	d, err := ParseDate(s)
 	if err != nil {
 		panic("storage: bad date " + s)
 	}
-	return int64(t.Sub(Epoch).Hours() / 24)
+	return d
 }
 
 // FormatDate renders days since the epoch as "YYYY-MM-DD".

@@ -40,6 +40,16 @@ type Program struct {
 // loop-aware allocator shrinks TPC-DS Q55 from 36 KB to 6 KB in the paper).
 func (p *Program) RegFileBytes() int { return p.NumRegs * 8 }
 
+// instBytes is the encoded size of one Inst (op + three operands + literal),
+// used for cache byte accounting.
+const instBytes = 24
+
+// SizeBytes estimates the retained in-memory footprint of the program for
+// compilation-cache byte budgeting.
+func (p *Program) SizeBytes() int {
+	return 64 + len(p.Name) + len(p.Code)*instBytes + len(p.ConstPool)*8
+}
+
 // String disassembles the program.
 func (p *Program) String() string {
 	var sb strings.Builder
