@@ -74,6 +74,15 @@ type Options struct {
 	// best previously compiled tier. 0 selects the default (64 MiB);
 	// negative disables caching.
 	CacheBytes int64
+	// SerialFinalize retains the single-threaded pipeline-breaker path
+	// (join chain linking, aggregation merge) instead of the default
+	// hash-range partitioned parallel finalization.
+	SerialFinalize bool
+	// NoJoinFilter disables the Bloom filter generated in join probes.
+	NoJoinFilter bool
+	// FilterStats counts Bloom-filter hits and skipped chain walks per
+	// query (Stats.FilterHits/FilterSkips) at a small per-probe cost.
+	FilterStats bool
 }
 
 // Result is a materialized query result (see exec.Result).
@@ -97,7 +106,9 @@ func Open(opts Options) *DB {
 		cacheBytes = 0
 	}
 	eopts := exec.Options{Workers: opts.Workers, Mode: opts.Mode,
-		Cost: opts.Cost, Trace: opts.Trace, CacheBytes: cacheBytes}
+		Cost: opts.Cost, Trace: opts.Trace, CacheBytes: cacheBytes,
+		SerialFinalize: opts.SerialFinalize, NoJoinFilter: opts.NoJoinFilter,
+		FilterStats: opts.FilterStats}
 	if eopts.Mode == 0 && opts.Cost == nil {
 		eopts.Mode = ModeAdaptive
 	}

@@ -6,7 +6,7 @@
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
 // Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
-// cache.
+// cache, breakers.
 package main
 
 import (
@@ -40,7 +40,7 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
@@ -65,6 +65,7 @@ func main() {
 	run("table2", table2)
 	run("regalloc", regalloc)
 	run("cache", cacheExp)
+	run("breakers", breakers)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -499,6 +500,143 @@ func cacheExp() {
 			st.Entries, st.Bytes>>10, st.Budget>>10, st.Hits, st.Misses, st.Evictions)
 	}
 	fmt.Println("(cold pays translation plus the paper-calibrated LLVM latency; warm starts in the best cached tier)")
+}
+
+// ---- breakers: parallel pipeline-breaker finalization + Bloom filters ----
+
+// breakers measures the two halves of the parallel-breaker work: the wall
+// time spent inside join/aggregation finalization as the worker count grows
+// (serial vs hash-range partitioned), and the end-to-end effect of the
+// Bloom-filtered probes on join-heavy queries. Native costs, optimized
+// mode: no simulated compile latency pollutes the barrier measurement.
+func breakers() {
+	cat := catalog(*sfFlag)
+	native := exec.Native()
+	const reps = 3
+
+	// Finalize wall time over breaker-heavy queries, summed per config;
+	// best of reps runs to damp scheduler noise.
+	breakerQs := []int{3, 9, 13, 18, 21}
+	measure := func(w int, serial bool) time.Duration {
+		best := time.Duration(math.MaxInt64)
+		for r := 0; r < reps; r++ {
+			var tot time.Duration
+			for _, qn := range breakerQs {
+				e := exec.New(exec.Options{Workers: w, Mode: exec.ModeOptimized,
+					Cost: native, SerialFinalize: serial})
+				res, err := e.Run(tpch.Query(cat, qn))
+				if err != nil {
+					panic(fmt.Sprintf("Q%d: %v", qn, err))
+				}
+				tot += res.Stats.Finalize
+			}
+			if tot < best {
+				best = tot
+			}
+		}
+		return best
+	}
+	fmt.Printf("breaker finalize wall time at SF %.2f (sum over Q3,9,13,18,21; optimized mode, native costs, best of %d)\n",
+		*sfFlag, reps)
+	fmt.Printf("%-8s %12s %14s %9s\n", "workers", "serial[ms]", "parallel[ms]", "speedup")
+	for _, w := range []int{1, 2, 4, 8} {
+		s := measure(w, true)
+		p := measure(w, false)
+		fmt.Printf("%-8d %12.2f %14.2f %8.2fx\n", w, ms(s), ms(p), ms(s)/ms(p))
+	}
+
+	// Bloom filter on/off, end-to-end execution time of probe-heavy queries.
+	probeQs := []int{5, 9, 18, 21}
+	fmt.Printf("\nBloom-filtered probes at SF %.2f, %d workers (exec time, best of %d)\n",
+		*sfFlag, *workers, reps)
+	fmt.Printf("%-6s %12s %12s %9s %12s %12s %7s\n",
+		"query", "off[ms]", "on[ms]", "speedup", "hits", "skips", "skip%")
+	for _, qn := range probeQs {
+		exe := func(noFilter bool) time.Duration {
+			best := time.Duration(math.MaxInt64)
+			for r := 0; r < reps; r++ {
+				e := exec.New(exec.Options{Workers: *workers, Mode: exec.ModeOptimized,
+					Cost: native, NoJoinFilter: noFilter})
+				res, err := e.Run(tpch.Query(cat, qn))
+				if err != nil {
+					panic(fmt.Sprintf("Q%d: %v", qn, err))
+				}
+				if res.Stats.Exec < best {
+					best = res.Stats.Exec
+				}
+			}
+			return best
+		}
+		off := exe(true)
+		on := exe(false)
+		// A separate counting pass: the hit/skip counters cost per-probe
+		// work, so they stay out of the timed runs.
+		e := exec.New(exec.Options{Workers: *workers, Mode: exec.ModeOptimized,
+			Cost: native, FilterStats: true})
+		res, err := e.Run(tpch.Query(cat, qn))
+		if err != nil {
+			panic(fmt.Sprintf("Q%d: %v", qn, err))
+		}
+		hits, skips := res.Stats.FilterHits, res.Stats.FilterSkips
+		pct := 0.0
+		if hits+skips > 0 {
+			pct = 100 * float64(skips) / float64(hits+skips)
+		}
+		fmt.Printf("%-6s %12.2f %12.2f %8.2fx %12d %12d %6.1f%%\n",
+			fmt.Sprintf("Q%d", qn), ms(off), ms(on), ms(off)/ms(on), hits, skips, pct)
+	}
+	fmt.Println("(skip% = probes whose chain walk the filter eliminated)")
+
+	// Out-of-cache probe: the filter's target regime is a build table whose
+	// bucket array misses the LLC while the 4x-denser filter still fits.
+	// TPC-H at small SF keeps every bucket array cache-resident, where a
+	// skipped bucket load saves nothing; this workload sizes the build side
+	// past the LLC (64M buckets = 512 MB, filter = 128 MB) with ~90% of
+	// probes missing.
+	const nBuild = 20_000_000
+	const nProbe = 40_000_000
+	bk := storage.NewColumn("k", storage.Int64)
+	for i := 0; i < nBuild; i++ {
+		bk.AppendInt64(int64(i))
+	}
+	bt := storage.NewTable("bigbuild", bk)
+	pk := storage.NewColumn("p", storage.Int64)
+	for i := 0; i < nProbe; i++ {
+		pk.AppendInt64(int64(uint64(i) * 0x9E3779B97F4A7C15 % (10 * nBuild)))
+	}
+	pt := storage.NewTable("bigprobe", pk)
+	mkPlan := func() plan.Node {
+		b := plan.NewScan(bt, "k")
+		p := plan.NewScan(pt, "p")
+		j := plan.NewJoin(plan.Inner, b, p,
+			[]expr.Expr{plan.C(b.Schema(), "k")},
+			[]expr.Expr{plan.C(p.Schema(), "p")}, nil)
+		return plan.NewGroupBy(j, nil, nil,
+			[]plan.AggExpr{{Func: plan.CountStar, Name: "n"}})
+	}
+	bigExe := func(noFilter, stats bool) *exec.Result {
+		best := (*exec.Result)(nil)
+		for r := 0; r < 2; r++ {
+			e := exec.New(exec.Options{Workers: *workers, Mode: exec.ModeOptimized,
+				Cost: native, NoJoinFilter: noFilter, FilterStats: stats})
+			res, err := e.RunPlan(mkPlan(), "bigprobe")
+			if err != nil {
+				panic(err)
+			}
+			if best == nil || res.Stats.Exec < best.Stats.Exec {
+				best = res
+			}
+		}
+		return best
+	}
+	fmt.Printf("\nout-of-cache probe (%dM build keys, %dM probes, ~90%% miss; optimized mode, %d workers, best of 2)\n",
+		nBuild/1000000, nProbe/1000000, *workers)
+	boff := bigExe(true, false)
+	bon := bigExe(false, false)
+	bst := bigExe(false, true)
+	fmt.Printf("  filter off: %8.1f ms   filter on: %8.1f ms   speedup: %.2fx   skip%%: %.1f\n",
+		ms(boff.Stats.Exec), ms(bon.Stats.Exec), ms(boff.Stats.Exec)/ms(bon.Stats.Exec),
+		100*float64(bst.Stats.FilterSkips)/float64(bst.Stats.FilterHits+bst.Stats.FilterSkips))
 }
 
 type aqeDatum = expr.Datum

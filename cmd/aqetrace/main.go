@@ -50,4 +50,18 @@ func main() {
 	}
 	fmt.Printf("TPC-H Q%d, SF %g, %s mode, %d workers\n\n", *qn, *sf, *mode, *wrk)
 	fmt.Print(merged.Gantt(110))
+
+	// Pipeline-breaker finalizations ('F' on the compile lane above).
+	first := true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvFinalize {
+			continue
+		}
+		if first {
+			fmt.Println("\nbreaker finalizations:")
+			first = false
+		}
+		fmt.Printf("  pipeline %d (%s): %.3f ms, %d partition(s), %d tuples\n",
+			ev.Pipeline, ev.Label, (ev.End - ev.Start).Seconds()*1e3, ev.Parts, ev.Tuples)
+	}
 }

@@ -68,6 +68,12 @@ type JoinDesc struct {
 	TupleSize int
 	StateOff  int
 	NumKeys   int
+	// Filter marks that the generated probe code expects a Bloom filter
+	// published at StateOff+16 and checks it before walking the chain.
+	Filter bool
+	// StatsLocalOff is the worker-local offset of the [hits u64][skips u64]
+	// filter counters the probe code maintains, or -1 when disabled.
+	StatsLocalOff int
 }
 
 // AggDesc mirrors the aggregation layout.
@@ -96,13 +102,31 @@ type OutCol struct {
 // litCap is the capacity of the string literal segment.
 const litCap = 1 << 20
 
-// Compile translates a plan into IR against the given address space (the
-// table columns referenced by the plan are registered as segments and
-// their base addresses embedded as constants, as HyPer embeds pointers).
+// Options selects optional code-generation features. The generated IR
+// differs per option set, so cached plans keyed by IR fingerprint never
+// collide across option values.
+type Options struct {
+	// JoinFilter emits a Bloom-filter check before every join chain walk.
+	JoinFilter bool
+	// FilterStats additionally maintains per-worker filter hit/skip
+	// counters in the local arena (costs two loads/stores per probe).
+	FilterStats bool
+}
+
+// Compile translates a plan into IR with the default options (Bloom
+// filters on, counters off).
 func Compile(root plan.Node, mem *rt.Memory, name string) (*Query, error) {
+	return CompileOpts(root, mem, name, Options{JoinFilter: true})
+}
+
+// CompileOpts translates a plan into IR against the given address space
+// (the table columns referenced by the plan are registered as segments and
+// their base addresses embedded as constants, as HyPer embeds pointers).
+func CompileOpts(root plan.Node, mem *rt.Memory, name string, opts Options) (*Query, error) {
 	g := &cgen{
 		mem:        mem,
 		mod:        ir.NewModule(name),
+		opts:       opts,
 		colBase:    make(map[*storage.Column]uint64),
 		heapBase:   make(map[*storage.Column]uint64),
 		litIdx:     make(map[string]int64),
@@ -144,9 +168,10 @@ func Compile(root plan.Node, mem *rt.Memory, name string) (*Query, error) {
 }
 
 type cgen struct {
-	mem *rt.Memory
-	mod *ir.Module
-	q   *Query
+	mem  *rt.Memory
+	mod  *ir.Module
+	q    *Query
+	opts Options
 
 	colBase  map[*storage.Column]uint64
 	heapBase map[*storage.Column]uint64
@@ -318,8 +343,15 @@ func (g *cgen) newJoinDesc(j *plan.Join) *joinMeta {
 		m.byIdx[idx] = fld
 		off += valWidth(bs[idx].T)
 	}
-	d := JoinDesc{TupleSize: off, StateOff: g.stateOff, NumKeys: len(j.BuildKeys)}
-	g.stateOff += 16
+	d := JoinDesc{
+		TupleSize: off, StateOff: g.stateOff, NumKeys: len(j.BuildKeys),
+		Filter: g.opts.JoinFilter, StatsLocalOff: -1,
+	}
+	g.stateOff += rt.JoinStateBytes
+	if d.Filter && g.opts.FilterStats {
+		d.StatsLocalOff = g.localOff
+		g.localOff += 16
+	}
 	g.q.Joins = append(g.q.Joins, d)
 	m.id = len(g.q.Joins) - 1
 	m.desc = &g.q.Joins[m.id]

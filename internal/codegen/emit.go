@@ -358,25 +358,63 @@ func (op *probeOp) apply(p *pgen, res resolver, down func(resolver)) {
 	h := p.hashKeys(keyVals, keyTypes)
 
 	stOff := int64(op.desc.desc.StateOff)
-	buckets := b.Load(ir.I64, b.GEP(p.state, nil, 0, stOff))
 	mask := b.Load(ir.I64, b.GEP(p.state, nil, 0, stOff+8))
 	slot := b.And(h, mask)
-	head := b.Load(ir.I64, b.GEP(buckets, slot, 8, 0))
+	loadHead := func() *ir.Value {
+		buckets := b.Load(ir.I64, b.GEP(p.state, nil, 0, stOff))
+		return b.Load(ir.I64, b.GEP(buckets, slot, 8, 0))
+	}
 
 	walk := f.NewBlock()
 	advance := f.NewBlock()
 	exitW := f.NewBlock()
 	outer := op.outerCount()
 
-	pre := b.B
-	b.Br(walk)
+	// Entry edges into the walk block: (head value, predecessor) pairs.
+	type entryEdge struct {
+		v   *ir.Value
+		blk *ir.Block
+	}
+	var entryIn []entryEdge
+	if op.desc.desc.Filter {
+		// Bloom pre-check: test the 16-bit tag word for hash bits 48..51
+		// before touching the bucket array. A filtered-out probe skips the
+		// bucket load and the chain walk entirely — the filter is 8x
+		// denser than the bucket array, so the tag load stays cache-hot
+		// while the dependent random bucket access it replaces does not.
+		// A filtered-out probe enters the walk with a null head and exits
+		// on its first test.
+		fBase := b.Load(ir.I64, b.GEP(p.state, nil, 0, stOff+16))
+		fw := b.ZExt(b.Load(ir.I16, b.GEP(fBase, slot, 2, 0)), ir.I64)
+		tag := b.Shl(b.ConstI64(1), b.And(b.LShr(h, b.ConstI64(48)), b.ConstI64(15)))
+		pass := b.ICmp(ir.Ne, b.And(fw, tag), b.ConstI64(0))
+		hitB := f.NewBlock()
+		missB := f.NewBlock()
+		b.CondBr(pass, hitB, missB)
+		b.SetBlock(hitB)
+		op.bumpStat(p, 0)
+		entryIn = append(entryIn, entryEdge{loadHead(), b.B})
+		b.Br(walk)
+		b.SetBlock(missB)
+		op.bumpStat(p, 8)
+		entryIn = append(entryIn, entryEdge{b.ConstI64(0), b.B})
+		b.Br(walk)
+	} else {
+		entryIn = append(entryIn, entryEdge{loadHead(), b.B})
+		b.Br(walk)
+	}
+
 	b.SetBlock(walk)
 	e := b.Phi(ir.I64)
-	ir.AddIncoming(e, head, pre)
+	for _, in := range entryIn {
+		ir.AddIncoming(e, in.v, in.blk)
+	}
 	var cnt *ir.Value
 	if outer {
 		cnt = b.Phi(ir.I64)
-		ir.AddIncoming(cnt, b.ConstI64(0), pre)
+		for _, in := range entryIn {
+			ir.AddIncoming(cnt, b.ConstI64(0), in.blk)
+		}
 	}
 	// advIn collects (value, block) pairs flowing into the advance block's
 	// count φ.
@@ -488,3 +526,15 @@ func (op *probeOp) apply(p *pgen, res resolver, down func(resolver)) {
 }
 
 func (op *probeOp) outerCount() bool { return op.join.Kind == plan.OuterCount }
+
+// bumpStat increments the worker-local filter counter at StatsLocalOff+off
+// (0 = hits, 8 = skips) when counters are enabled.
+func (op *probeOp) bumpStat(p *pgen, off int64) {
+	so := op.desc.desc.StatsLocalOff
+	if so < 0 {
+		return
+	}
+	b := p.b
+	addr := b.GEP(p.local, nil, 0, int64(so)+off)
+	b.Store(addr, b.Add(b.Load(ir.I64, addr), b.ConstI64(1)))
+}

@@ -39,7 +39,7 @@ func TestCrossTierDifferential22(t *testing.T) {
 	want := make(map[int]string)
 
 	for _, mode := range modes {
-		e := New(Options{Workers: 3, Mode: mode, Cost: Native(),
+		e := New(Options{Workers: 4, Mode: mode, Cost: Native(),
 			MorselSize: 512, CacheBytes: 64 << 20})
 		for qn := 1; qn <= 22; qn++ {
 			q := tpch.Query(cat, qn)
@@ -68,6 +68,48 @@ func TestCrossTierDifferential22(t *testing.T) {
 		st := e.CacheStats()
 		if st.Hits == 0 || st.Misses == 0 {
 			t.Errorf("%v: implausible cache counters %+v", mode, st)
+		}
+	}
+}
+
+// TestBreakerConfigDifferential22 runs all 22 TPC-H queries under every
+// pipeline-breaker configuration — parallel vs serial finalize, Bloom
+// filters on vs off vs counting — and asserts the result checksums never
+// move. The filter changes the emitted probe IR and the parallel finalize
+// changes the merge schedule, so this pins down that neither affects
+// results in any tier.
+func TestBreakerConfigDifferential22(t *testing.T) {
+	cat := diffCat()
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"baseline", Options{Workers: 4, Mode: ModeOptimized, Cost: Native()}},
+		{"serial-finalize", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
+			SerialFinalize: true}},
+		{"no-filter", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
+			NoJoinFilter: true}},
+		{"serial-no-filter", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
+			SerialFinalize: true, NoJoinFilter: true}},
+		{"filter-stats", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
+			FilterStats: true}},
+		{"bytecode-filter", Options{Workers: 4, Mode: ModeBytecode}},
+	}
+	want := make(map[int]string)
+	for _, cfg := range configs {
+		e := New(cfg.opts)
+		for qn := 1; qn <= 22; qn++ {
+			res, err := e.Run(tpch.Query(cat, qn))
+			if err != nil {
+				t.Fatalf("%s Q%d: %v", cfg.name, qn, err)
+			}
+			sum := checksum(res)
+			if cfg.name == "baseline" {
+				want[qn] = sum
+			} else if sum != want[qn] {
+				t.Errorf("%s Q%d: checksum %s, want %s (baseline)",
+					cfg.name, qn, sum, want[qn])
+			}
 		}
 	}
 }

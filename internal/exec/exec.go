@@ -62,6 +62,17 @@ type Options struct {
 	// queries on this engine (default 2). The adaptive controller submits
 	// to this shared pool instead of spawning per-query goroutines.
 	CompileWorkers int
+	// SerialFinalize forces the retained single-threaded pipeline-breaker
+	// path (join build linking, aggregation merge) instead of hash-range
+	// partitioned parallel finalization.
+	SerialFinalize bool
+	// NoJoinFilter disables the Bloom-filter check in generated join
+	// probes (the filter is emitted by default).
+	NoJoinFilter bool
+	// FilterStats maintains per-worker filter hit/skip counters in
+	// generated probes and reports them in Stats. Off by default: the
+	// counters cost two extra memory operations per probe.
+	FilterStats bool
 }
 
 // Engine executes plans.
@@ -124,6 +135,7 @@ type Stats struct {
 	Translate time.Duration // IR -> bytecode (all pipelines + queryStart)
 	Compile   time.Duration // up-front compilation (static modes)
 	Exec      time.Duration // queryStart + pipelines + result decode
+	Finalize  time.Duration // pipeline-breaker wall time (within Exec)
 	Total     time.Duration
 
 	Instrs       int // IR instructions in the module
@@ -132,6 +144,9 @@ type Stats struct {
 	Compilations int     // adaptive compilations launched
 	RegFileBytes int     // largest bytecode register file
 	FusedOps     int     // macro-ops fused across pipelines (§IV-F)
+	Finalizes    int     // pipeline breakers finalized
+	FilterHits   int64   // probes whose Bloom filter passed (FilterStats)
+	FilterSkips  int64   // probes whose chain walk was skipped (FilterStats)
 
 	// Fingerprint is the plan fingerprint (abbreviated hex); CacheHit
 	// reports whether translation/compilation was served from the cache,
@@ -236,7 +251,10 @@ func (e *Engine) Run(q plan.Query) (*Result, error) {
 func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 	t0 := time.Now()
 	mem := rt.NewMemory()
-	cq, err := codegen.Compile(node, mem, name)
+	cq, err := codegen.CompileOpts(node, mem, name, codegen.Options{
+		JoinFilter:  !e.opts.NoJoinFilter,
+		FilterStats: e.opts.FilterStats && !e.opts.NoJoinFilter,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -255,6 +273,16 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 		return nil, err
 	}
 	st.Exec = time.Since(tExec)
+	for _, jd := range cq.Joins {
+		if jd.StatsLocalOff < 0 {
+			continue
+		}
+		for w := 0; w < e.opts.Workers; w++ {
+			base := qr.qs.Locals[w] + rt.Addr(jd.StatsLocalOff)
+			st.FilterHits += int64(mem.Load64(base))
+			st.FilterSkips += int64(mem.Load64(base + 8))
+		}
+	}
 
 	// Sort / limit on the decoded rows.
 	if len(cq.SortKeys) > 0 {

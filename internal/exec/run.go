@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -146,7 +147,7 @@ func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*que
 	// Runtime state per the code generator's layout.
 	qs := rt.NewQueryState(mem, e.opts.Workers, cq.StateBytes, cq.LocalBytes)
 	for _, jd := range cq.Joins {
-		qs.AddJoin(jd.TupleSize, jd.StateOff)
+		qs.AddJoin(jd.TupleSize, jd.StateOff, jd.Filter)
 	}
 	for _, ad := range cq.Aggs {
 		qs.AddAgg(ad.EntrySize, ad.Keys, ad.Aggs, ad.LocalOff, ad.Scalar)
@@ -361,16 +362,104 @@ func (qr *queryRun) runPipeline(id int) {
 		}
 		panic(&rt.Trap{Code: rt.TrapUser})
 	}
-	// Finalize the sink between pipelines (single-threaded, like HyPer's
-	// pipeline breaker barriers).
+	// Finalize the sink between pipelines. By default the breaker work
+	// (join chain linking, aggregation merge) is hash-range partitioned
+	// across the worker pool; Options.SerialFinalize retains the
+	// single-threaded barrier for comparison.
 	if pl.SinkJoin >= 0 {
-		qr.qs.Joins[pl.SinkJoin].Finalize(qr.qs.StateAddr)
+		ht := qr.qs.Joins[pl.SinkJoin]
+		t0 := time.Now()
+		parts := 1
+		if qr.eng.opts.SerialFinalize {
+			ht.Finalize(qr.qs.StateAddr)
+		} else {
+			parts = ht.FinalizeParallel(qr.qs.StateAddr, qr.breakerParts(), qr.pfor)
+		}
+		qr.noteFinalize(pl, time.Since(t0), t0, parts, int64(ht.Count))
 	}
 	if pl.SinkAgg >= 0 {
 		set := qr.qs.Aggs[pl.SinkAgg]
-		set.Finalize()
+		t0 := time.Now()
+		parts := 1
+		if qr.eng.opts.SerialFinalize {
+			set.Finalize()
+		} else {
+			parts = set.FinalizeParallel(qr.breakerParts(), qr.pfor)
+		}
 		d := qr.cq.Aggs[pl.SinkAgg]
 		qr.mem.Store64(qr.qs.StateAddr+rt.Addr(d.IndexStateOff), set.IndexAddr)
+		qr.noteFinalize(pl, time.Since(t0), t0, parts, int64(set.Groups))
+	}
+}
+
+// noteFinalize accounts one breaker finalization in Stats and the trace.
+func (qr *queryRun) noteFinalize(pl *codegen.Pipeline, d time.Duration, t0 time.Time, parts int, tuples int64) {
+	qr.stats.Finalize += d
+	qr.stats.Finalizes++
+	if qr.trace != nil {
+		qr.trace.Add(Event{Kind: EvFinalize, Pipeline: pl.ID, Label: pl.Label,
+			Worker: -1, Start: qr.trace.Since(t0), End: qr.trace.Since(t0) + d,
+			Tuples: tuples, Parts: parts})
+	}
+}
+
+// breakerParts returns the partition count for parallel finalization:
+// Options.Workers capped by the CPUs actually available. Every partition
+// re-scans all build arenas (that is what makes the writes disjoint), so
+// partitions beyond real parallelism are pure extra scan work.
+func (qr *queryRun) breakerParts() int {
+	parts := qr.eng.opts.Workers
+	if n := runtime.GOMAXPROCS(0); parts > n {
+		parts = n
+	}
+	return parts
+}
+
+// pfor is the rt.ParallelFor executor backing partitioned finalization: it
+// spreads fn(0..n-1) over up to Workers goroutines with an atomic claim
+// cursor. A Trap thrown by a task (aggregate Combine can overflow) is
+// caught on its goroutine and re-thrown on the caller, so breaker traps
+// surface exactly like serial-finalize traps.
+func (qr *queryRun) pfor(n int, fn func(p int)) {
+	workers := qr.eng.opts.Workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for p := 0; p < n; p++ {
+			fn(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	var trapMu sync.Mutex
+	var trapped *rt.Trap
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := rt.CatchTrap(func() {
+				for {
+					p := int(next.Add(1) - 1)
+					if p >= n {
+						return
+					}
+					fn(p)
+				}
+			})
+			if err != nil {
+				trapMu.Lock()
+				if trapped == nil {
+					trapped = err.(*rt.Trap)
+				}
+				trapMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if trapped != nil {
+		panic(trapped)
 	}
 }
 

@@ -15,7 +15,8 @@ type EventKind uint8
 const (
 	EvMorsel EventKind = iota
 	EvCompile
-	EvPhase // planning / codegen / up-front compilation
+	EvPhase    // planning / codegen / up-front compilation
+	EvFinalize // pipeline-breaker finalization (join link / agg merge)
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -28,6 +29,7 @@ type Event struct {
 	Start    time.Duration // since query start
 	End      time.Duration
 	Tuples   int64
+	Parts    int // EvFinalize: partitions used
 }
 
 // Trace records per-morsel and per-compilation timing.
@@ -95,7 +97,7 @@ func (tr *Trace) Gantt(width int) string {
 		if ev.Worker > maxWorker {
 			maxWorker = ev.Worker
 		}
-		if ev.Kind == EvCompile {
+		if ev.Kind == EvCompile || ev.Kind == EvFinalize {
 			hasCompile = true
 		}
 	}
@@ -131,6 +133,9 @@ func (tr *Trace) Gantt(width int) string {
 		case EvCompile:
 			lane = maxWorker + 1
 			ch = 'C'
+		case EvFinalize:
+			lane = maxWorker + 1
+			ch = 'F'
 		case EvPhase:
 			ch = '='
 		}

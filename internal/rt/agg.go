@@ -146,7 +146,9 @@ func NewAggSet(mem *Memory, workers int, entrySize int, keys []KeyField,
 func (ht *aggHT) grow(nb int) {
 	newBuckets := make([]byte, nb*8)
 	newMask := uint64(nb - 1)
-	if ht.buckets != nil {
+	if ht.buckets == nil {
+		ht.bucketsAddr = ht.mem.AddSegment(newBuckets)
+	} else {
 		// Relink every entry by walking the old chains — NOT the arena:
 		// after Finalize starts merging, the table also links entries
 		// that live in other workers' arenas.
@@ -161,9 +163,14 @@ func (ht *aggHT) grow(nb int) {
 				e = next
 			}
 		}
+		// Growth is single-writer (each worker grows only its own table,
+		// and the merge grows the target between pipelines), so replace
+		// the backing bytes of the existing segment instead of abandoning
+		// it: a long query's repeated doublings must not crawl toward the
+		// segment-table cap.
+		ht.mem.SetSegment(ht.bucketsAddr, newBuckets)
 	}
 	ht.buckets = newBuckets
-	ht.bucketsAddr = ht.mem.AddSegment(newBuckets)
 	ht.mask = newMask
 	ht.publish()
 }
@@ -260,5 +267,120 @@ func (s *AggSet) Finalize() {
 	s.IndexAddr = s.mem.AddSegment(index)
 }
 
+// FinalizeParallel merges the per-worker tables with up to parts hash-range
+// partitions scheduled through pfor, then builds the dense group index in
+// parallel. Each partition task owns a contiguous bucket-index range of a
+// fresh table sized for the combined entry count and merges that range from
+// every source table, visiting sources in worker order and entries in arena
+// order — the same encounter order as the serial merge, so representative
+// entries, float Combine order, and therefore checksums are identical to
+// Finalize. Returns the partition count actually used (1 when the tables
+// are too small to benefit).
+func (s *AggSet) FinalizeParallel(parts int, pfor ParallelFor) int {
+	total := 0
+	for _, ht := range s.hts {
+		total += ht.count
+	}
+	if total == 0 {
+		s.Groups = 0
+		s.IndexAddr = s.mem.ZeroSeg()
+		return 1
+	}
+	nb := nextPow2(2 * total)
+	if parts > nb {
+		parts = nb
+	}
+	if parts < 1 || total < minParallelBreaker {
+		parts = 1
+	}
+	if parts == 1 {
+		// One partition degenerates to the serial merge, which is strictly
+		// cheaper: it merges into worker 0's live table instead of
+		// re-linking every entry into a fresh one.
+		s.Finalize()
+		return 1
+	}
+	// A fresh bucket array sized up front: no mid-merge growth, so the
+	// partition ranges stay fixed and writes stay disjoint. The plain slice
+	// is never published — probes of the follow-up pipeline scan the dense
+	// index, not the buckets.
+	buckets := make([]byte, nb*8)
+	mask := uint64(nb - 1)
+	counts := make([]int, parts+1)
+
+	mergeRange := func(p int, lo, hi uint64) {
+		groups := 0
+		for _, ht := range s.hts {
+			ht.arena.EachChunk(func(base Addr, data []byte) {
+				for off := 0; off+s.EntrySize <= len(data); off += s.EntrySize {
+					e := base + Addr(off)
+					h := leU64(data[off+aggEntryHashOff:])
+					idx := h & mask
+					if idx < lo || idx >= hi {
+						continue
+					}
+					bi := idx * 8
+					cur := leU64(buckets[bi:])
+					merged := false
+					for cur != 0 {
+						if s.mem.Load64(cur+aggEntryHashOff) == h && s.keysEqual(cur, e) {
+							for _, a := range s.Aggs {
+								dst := s.mem.Load64(cur + Addr(a.Off))
+								src := s.mem.Load64(e + Addr(a.Off))
+								s.mem.Store64(cur+Addr(a.Off), a.Kind.Combine(dst, src))
+							}
+							merged = true
+							break
+						}
+						cur = s.mem.Load64(cur + aggEntryNextOff)
+					}
+					if !merged {
+						s.mem.Store64(e+aggEntryNextOff, leU64(buckets[bi:]))
+						putU64(buckets[bi:], e)
+						groups++
+					}
+				}
+			})
+		}
+		counts[p+1] = groups
+	}
+
+	rangeOf := func(p int) (uint64, uint64) {
+		return uint64(p) * uint64(nb) / uint64(parts),
+			uint64(p+1) * uint64(nb) / uint64(parts)
+	}
+	pfor(parts, func(p int) {
+		lo, hi := rangeOf(p)
+		mergeRange(p, lo, hi)
+	})
+
+	// Prefix-sum the per-partition group counts, then fill the dense index
+	// in parallel: partition p writes index slots [counts[p], counts[p+1])
+	// in bucket order, matching the serial index order.
+	for p := 0; p < parts; p++ {
+		counts[p+1] += counts[p]
+	}
+	groups := counts[parts]
+	index := make([]byte, groups*8)
+	fillRange := func(p int, lo, hi uint64) {
+		i := counts[p]
+		for b := lo * 8; b < hi*8; b += 8 {
+			for e := leU64(buckets[b:]); e != 0; e = s.mem.Load64(e + aggEntryNextOff) {
+				putU64(index[i*8:], e)
+				i++
+			}
+		}
+	}
+	pfor(parts, func(p int) {
+		lo, hi := rangeOf(p)
+		fillRange(p, lo, hi)
+	})
+	s.Groups = groups
+	s.IndexAddr = s.mem.AddSegment(index)
+	return parts
+}
+
 func leU64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
 func putU64(b []byte, v uint64) { binary.LittleEndian.PutUint64(b, v) }
+func leU16(b []byte) uint16     { return binary.LittleEndian.Uint16(b) }
+func putU16(b []byte, v uint16) { binary.LittleEndian.PutUint16(b, v) }

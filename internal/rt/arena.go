@@ -59,6 +59,15 @@ func (a *Arena) Each(stride int, fn func(addr Addr)) {
 	}
 }
 
+// EachChunk calls fn once per chunk with the chunk's base address and its
+// used bytes as a direct slice. Partitioned finalization uses it to scan
+// tuples without going through the segment table on every load.
+func (a *Arena) EachChunk(fn func(base Addr, data []byte)) {
+	for i, base := range a.chunks {
+		fn(base, a.mem.Seg(base)[:a.used[i]])
+	}
+}
+
 // Reset drops all chunks (their segments remain mapped but unreferenced).
 func (a *Arena) Reset() {
 	a.cur, a.off, a.size = 0, 0, 0

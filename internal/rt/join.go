@@ -4,27 +4,60 @@ package rt
 // phases of morsel-driven joins: the build pipeline materializes tuples
 // into per-worker arenas through generated code (layout: [hash u64]
 // [next u64] [payload...]), then Finalize sizes the bucket array and links
-// the chains single-threaded between pipelines. Probing happens entirely
-// in generated code: it reads the bucket head and walks the chain with
-// plain loads, exactly like HyPer's generated probe code.
+// the chains between pipelines. Probing happens entirely in generated
+// code: it reads the bucket head and walks the chain with plain loads,
+// exactly like HyPer's generated probe code.
+//
+// Finalization comes in two flavours. Finalize is the retained serial
+// path: one thread walks every arena once and prepends each tuple to its
+// chain. FinalizeParallel partitions the bucket array by hash range and
+// runs one task per partition: each task scans all arenas but links only
+// tuples whose bucket index falls inside its range, so all writes (bucket
+// heads, chain links, filter words) are disjoint across partitions — no
+// atomics, and the final chains are byte-identical to the serial result
+// because every bucket sees its tuples in the same arena order.
 type JoinHT struct {
 	mem       *Memory
 	TupleSize int
-	// StateOff is the offset in the shared state arena where Finalize
-	// publishes [bucketsAddr u64][mask u64] for the probe code to load.
+	// StateOff is the offset in the shared state arena where finalization
+	// publishes [bucketsAddr u64][mask u64][filterAddr u64] for the probe
+	// code to load (JoinStateBytes).
 	StateOff int
+	// Filter enables the per-join Bloom filter: one 16-bit tag word per
+	// bucket, tag bit selected by hash bits 48..51. Probe code tests the
+	// word before touching the bucket array, skipping the chain walk (and
+	// its cache misses) for keys that cannot be present.
+	Filter bool
 
 	arenas []*Arena
 
-	// Results of Finalize.
+	// Results of finalization.
 	BucketsAddr Addr
+	FilterAddr  Addr
 	Mask        uint64
 	Count       int
+
+	buckets []byte
+	filter  []byte
 }
 
+// JoinStateBytes is the per-join slot size in the shared state arena:
+// [bucketsAddr u64][mask u64][filterAddr u64].
+const JoinStateBytes = 24
+
+// minParallelBreaker is the tuple (or group) count below which partitioned
+// finalization collapses to one partition: spawning goroutines costs more
+// than linking a few thousand tuples.
+const minParallelBreaker = 4096
+
+// ParallelFor runs fn(0), ..., fn(n-1), possibly concurrently. The engine
+// supplies it so the runtime stays free of scheduling policy; partitioned
+// finalization guarantees the fn invocations touch disjoint memory.
+type ParallelFor func(n int, fn func(p int))
+
 // NewJoinHT creates a join hash table with one arena per worker.
-func NewJoinHT(mem *Memory, workers, tupleSize, stateOff int) *JoinHT {
-	h := &JoinHT{mem: mem, TupleSize: tupleSize, StateOff: stateOff}
+func NewJoinHT(mem *Memory, workers, tupleSize, stateOff int, filter bool) *JoinHT {
+	h := &JoinHT{mem: mem, TupleSize: tupleSize, StateOff: stateOff, Filter: filter}
 	for i := 0; i < workers; i++ {
 		h.arenas = append(h.arenas, NewArena(mem))
 	}
@@ -33,38 +66,111 @@ func NewJoinHT(mem *Memory, workers, tupleSize, stateOff int) *JoinHT {
 
 // Alloc returns space for one build tuple on worker w's arena. Generated
 // code stores the hash at offset 0 and the payload from offset 16; offset
-// 8 (the chain link) is filled by Finalize.
+// 8 (the chain link) is filled by finalization.
 func (h *JoinHT) Alloc(w int) Addr {
 	return h.arenas[w].Alloc(h.TupleSize)
 }
 
-// Finalize counts the materialized tuples, sizes the bucket array to the
-// next power of two, links all chains, and publishes the bucket base and
-// mask into the state arena at StateOff.
-func (h *JoinHT) Finalize(stateAddr Addr) {
+// prepare counts the materialized tuples and sizes the bucket array (and
+// filter) to the next power of two ≥ 2× the tuple count, keeping the load
+// factor at or below 0.5. An empty build side maps both arrays onto the
+// memory's shared zero segment instead of allocating a useless one-bucket
+// table. Returns the number of buckets (0 when empty).
+func (h *JoinHT) prepare() int {
 	total := 0
 	for _, a := range h.arenas {
 		total += a.Bytes() / h.TupleSize
 	}
 	h.Count = total
-	nb := 1
-	for nb < total {
-		nb <<= 1
+	if total == 0 {
+		z := h.mem.ZeroSeg()
+		h.BucketsAddr, h.Mask, h.FilterAddr = z, 0, z
+		h.buckets, h.filter = nil, nil
+		return 0
 	}
-	buckets := make([]byte, nb*8)
-	h.BucketsAddr = h.mem.AddSegment(buckets)
+	nb := nextPow2(2 * total)
+	h.buckets = make([]byte, nb*8)
+	h.BucketsAddr = h.mem.AddSegment(h.buckets)
 	h.Mask = uint64(nb - 1)
+	if h.Filter {
+		h.filter = make([]byte, nb*2)
+		h.FilterAddr = h.mem.AddSegment(h.filter)
+	}
+	return nb
+}
+
+// linkRange links every tuple whose bucket index falls in [lo, hi) and
+// sets its filter tag. Arenas are visited in worker order and chunk-wise
+// with direct slice access, so the per-tuple cost of scanning foreign
+// partitions' tuples is one hash load and a compare.
+func (h *JoinHT) linkRange(lo, hi uint64) {
+	ts := h.TupleSize
 	for _, a := range h.arenas {
-		a.Each(h.TupleSize, func(t Addr) {
-			hash := h.mem.Load64(t)
-			idx := (hash & h.Mask) * 8
-			head := leU64(buckets[idx:])
-			h.mem.Store64(t+8, head)
-			putU64(buckets[idx:], t)
+		a.EachChunk(func(base Addr, data []byte) {
+			for off := 0; off+ts <= len(data); off += ts {
+				hash := leU64(data[off:])
+				idx := hash & h.Mask
+				if idx < lo || idx >= hi {
+					continue
+				}
+				bi := idx * 8
+				putU64(data[off+8:], leU64(h.buckets[bi:]))
+				putU64(h.buckets[bi:], base+Addr(off))
+				if h.filter != nil {
+					fi := idx * 2
+					tag := uint16(1) << ((hash >> 48) & 15)
+					putU16(h.filter[fi:], leU16(h.filter[fi:])|tag)
+				}
+			}
 		})
 	}
+}
+
+// publishState stores the bucket base, mask and filter base into the state
+// arena at StateOff for the generated probe code.
+func (h *JoinHT) publishState(stateAddr Addr) {
 	h.mem.Store64(stateAddr+Addr(h.StateOff), h.BucketsAddr)
 	h.mem.Store64(stateAddr+Addr(h.StateOff)+8, h.Mask)
+	if h.Filter {
+		h.mem.Store64(stateAddr+Addr(h.StateOff)+16, h.FilterAddr)
+	}
+}
+
+// Finalize is the retained serial path: size, link all chains in one
+// arena pass, publish.
+func (h *JoinHT) Finalize(stateAddr Addr) {
+	if nb := h.prepare(); nb > 0 {
+		h.linkRange(0, uint64(nb))
+	}
+	h.publishState(stateAddr)
+}
+
+// FinalizeParallel builds the table with up to parts hash-range
+// partitions scheduled through pfor, and returns the partition count it
+// actually used (1 when the table is too small to benefit).
+func (h *JoinHT) FinalizeParallel(stateAddr Addr, parts int, pfor ParallelFor) int {
+	nb := h.prepare()
+	if nb == 0 {
+		h.publishState(stateAddr)
+		return 1
+	}
+	if parts > nb {
+		parts = nb
+	}
+	if parts < 1 || h.Count < minParallelBreaker {
+		parts = 1
+	}
+	if parts == 1 {
+		h.linkRange(0, uint64(nb))
+	} else {
+		pfor(parts, func(p int) {
+			lo := uint64(p) * uint64(nb) / uint64(parts)
+			hi := uint64(p+1) * uint64(nb) / uint64(parts)
+			h.linkRange(lo, hi)
+		})
+	}
+	h.publishState(stateAddr)
+	return parts
 }
 
 // Tuples calls fn for every build tuple (used by tests and diagnostics).
@@ -72,4 +178,13 @@ func (h *JoinHT) Tuples(fn func(addr Addr)) {
 	for _, a := range h.arenas {
 		a.Each(h.TupleSize, fn)
 	}
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	nb := 1
+	for nb < n {
+		nb <<= 1
+	}
+	return nb
 }

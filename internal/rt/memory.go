@@ -42,6 +42,7 @@ type Addr = uint64
 type Memory struct {
 	table atomic.Pointer[[][]byte]
 	mu    sync.Mutex
+	zero  Addr // shared read-only zero segment (lazily mapped)
 }
 
 // NewMemory returns an address space with the null segment mapped to nil.
@@ -60,6 +61,10 @@ func (m *Memory) AddSegment(data []byte) Addr {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.addSegmentLocked(data)
+}
+
+func (m *Memory) addSegmentLocked(data []byte) Addr {
 	old := *m.table.Load()
 	if len(old) >= 1<<16 {
 		panic("rt: segment table full")
@@ -74,6 +79,21 @@ func (m *Memory) AddSegment(data []byte) Addr {
 // Alloc creates a zeroed segment of n bytes and returns its base address.
 func (m *Memory) Alloc(n int) Addr {
 	return m.AddSegment(make([]byte, n))
+}
+
+// ZeroSeg returns the base of a shared read-only zeroed segment, mapped at
+// most once per address space. Empty hash tables publish it as their
+// bucket array and filter instead of each allocating a one-bucket table:
+// with mask 0 every probe reads a zero bucket head (and a zero filter
+// word) from it and terminates immediately. Callers must never write
+// through the returned address.
+func (m *Memory) ZeroSeg() Addr {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.zero == 0 {
+		m.zero = m.addSegmentLocked(make([]byte, 64))
+	}
+	return m.zero
 }
 
 // SetSegment atomically replaces the backing bytes of an existing segment;

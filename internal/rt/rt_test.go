@@ -103,7 +103,7 @@ func TestJoinHT(t *testing.T) {
 	m := NewMemory()
 	const tupleSize = 24 // hash, next, key
 	stateAddr := m.Alloc(16)
-	h := NewJoinHT(m, 2, tupleSize, 0)
+	h := NewJoinHT(m, 2, tupleSize, 0, false)
 	// Insert 100 tuples from two workers; key = i, hash = weak on purpose
 	// to force chains.
 	for i := 0; i < 100; i++ {
@@ -140,7 +140,7 @@ func TestJoinHT(t *testing.T) {
 func TestJoinHTEmpty(t *testing.T) {
 	m := NewMemory()
 	stateAddr := m.Alloc(16)
-	h := NewJoinHT(m, 1, 24, 0)
+	h := NewJoinHT(m, 1, 24, 0, false)
 	h.Finalize(stateAddr)
 	buckets := m.Load64(stateAddr)
 	mask := m.Load64(stateAddr + 8)
