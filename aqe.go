@@ -83,6 +83,10 @@ type Options struct {
 	// FilterStats counts Bloom-filter hits and skipped chain walks per
 	// query (Stats.FilterHits/FilterSkips) at a small per-probe cost.
 	FilterStats bool
+	// NoZoneMaps disables zone-map morsel pruning: scans dispatch every
+	// block even when per-block min/max statistics prove the pushed-down
+	// predicate rejects it.
+	NoZoneMaps bool
 }
 
 // Result is a materialized query result (see exec.Result).
@@ -108,7 +112,7 @@ func Open(opts Options) *DB {
 	eopts := exec.Options{Workers: opts.Workers, Mode: opts.Mode,
 		Cost: opts.Cost, Trace: opts.Trace, CacheBytes: cacheBytes,
 		SerialFinalize: opts.SerialFinalize, NoJoinFilter: opts.NoJoinFilter,
-		FilterStats: opts.FilterStats}
+		FilterStats: opts.FilterStats, NoZoneMaps: opts.NoZoneMaps}
 	if eopts.Mode == 0 && opts.Cost == nil {
 		eopts.Mode = ModeAdaptive
 	}

@@ -69,4 +69,9 @@ func show(res *aqe.Result, err error) {
 	fmt.Print(aqe.FormatRows(res, 25))
 	fmt.Printf("(%d rows; codegen %v, exec %v, tiers %v)\n",
 		len(res.Rows), res.Stats.Codegen, res.Stats.Exec, res.Stats.FinalLevels)
+	if res.Stats.TuplesPruned > 0 {
+		fmt.Printf("(zone maps: %d blocks / %d tuples pruned, %.1f%% of prunable scans)\n",
+			res.Stats.BlocksPruned, res.Stats.TuplesPruned,
+			100*float64(res.Stats.TuplesPruned)/float64(res.Stats.PrunableTuples))
+	}
 }

@@ -6,7 +6,7 @@
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
 // Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
-// cache, breakers.
+// cache, breakers, zonemaps.
 package main
 
 import (
@@ -40,7 +40,7 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
@@ -66,6 +66,7 @@ func main() {
 	run("regalloc", regalloc)
 	run("cache", cacheExp)
 	run("breakers", breakers)
+	run("zonemaps", zonemaps)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -637,6 +638,70 @@ func breakers() {
 	fmt.Printf("  filter off: %8.1f ms   filter on: %8.1f ms   speedup: %.2fx   skip%%: %.1f\n",
 		ms(boff.Stats.Exec), ms(bon.Stats.Exec), ms(boff.Stats.Exec)/ms(bon.Stats.Exec),
 		100*float64(bst.Stats.FilterSkips)/float64(bst.Stats.FilterHits+bst.Stats.FilterSkips))
+}
+
+// ---- zonemaps: zone-map morsel pruning on/off + block-size sweep ----
+
+// zonemaps measures what data skipping buys on top of compilation: all 22
+// queries with pruning on vs off (optimized mode, native costs — scan
+// throughput is the quantity under test) plus the per-query skip rate,
+// then a block-size sweep on Q6, the classic zone-map query (three range
+// predicates on a date-clustered fact table).
+func zonemaps() {
+	cat := catalog(*sfFlag)
+	native := exec.Native()
+	const reps = 3
+	exe := func(qn int, off bool) *exec.Result {
+		var best *exec.Result
+		for r := 0; r < reps; r++ {
+			e := exec.New(exec.Options{Workers: *workers, Mode: exec.ModeOptimized,
+				Cost: native, NoZoneMaps: off})
+			res, err := e.Run(tpch.Query(cat, qn))
+			if err != nil {
+				panic(fmt.Sprintf("Q%d: %v", qn, err))
+			}
+			if best == nil || res.Stats.Exec < best.Stats.Exec {
+				best = res
+			}
+		}
+		return best
+	}
+	fmt.Printf("zone-map pruning at SF %.2f, %d workers (optimized mode, native costs, exec time, best of %d)\n",
+		*sfFlag, *workers, reps)
+	fmt.Printf("%-6s %10s %10s %9s %12s %12s %7s\n",
+		"query", "off[ms]", "on[ms]", "speedup", "pruned", "prunable", "skip%")
+	for qn := 1; qn <= 22; qn++ {
+		off := exe(qn, true)
+		on := exe(qn, false)
+		st := on.Stats
+		pct := 0.0
+		if st.PrunableTuples > 0 {
+			pct = 100 * float64(st.TuplesPruned) / float64(st.PrunableTuples)
+		}
+		fmt.Printf("%-6s %10.2f %10.2f %8.2fx %12d %12d %6.1f%%\n",
+			fmt.Sprintf("Q%d", qn), ms(off.Stats.Exec), ms(on.Stats.Exec),
+			ms(off.Stats.Exec)/ms(on.Stats.Exec),
+			st.TuplesPruned, st.PrunableTuples, pct)
+	}
+	fmt.Println("(skip% = pruned tuples / source tuples of scans carrying a prune descriptor; multi-stage queries report their final stage)")
+
+	// Block-size sweep on Q6: smaller blocks prune at finer granularity but
+	// cost more statistics; 64k matches the largest morsel.
+	fmt.Printf("\nQ6 block-size sweep (same setup)\n")
+	fmt.Printf("%-10s %10s %12s %12s %7s\n", "blockRows", "on[ms]", "pruned", "prunable", "skip%")
+	for _, br := range []int{4096, 16384, 65536, 262144} {
+		cat.BuildZoneMaps(br)
+		on := exe(6, false)
+		st := on.Stats
+		pct := 0.0
+		if st.PrunableTuples > 0 {
+			pct = 100 * float64(st.TuplesPruned) / float64(st.PrunableTuples)
+		}
+		fmt.Printf("%-10d %10.2f %12d %12d %6.1f%%\n",
+			br, ms(on.Stats.Exec), st.TuplesPruned, st.PrunableTuples, pct)
+	}
+	// The catalog is shared across experiments: restore the default maps.
+	cat.BuildZoneMaps(storage.DefaultZoneBlockRows)
 }
 
 type aqeDatum = expr.Datum

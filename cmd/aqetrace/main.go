@@ -51,8 +51,22 @@ func main() {
 	fmt.Printf("TPC-H Q%d, SF %g, %s mode, %d workers\n\n", *qn, *sf, *mode, *wrk)
 	fmt.Print(merged.Gantt(110))
 
-	// Pipeline-breaker finalizations ('F' on the compile lane above).
+	// Zone-map pruning ('Z' on the compile lane above).
 	first := true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvPrune {
+			continue
+		}
+		if first {
+			fmt.Println("\nzone-map pruning:")
+			first = false
+		}
+		fmt.Printf("  pipeline %d (%s): %d block(s) / %d tuples skipped\n",
+			ev.Pipeline, ev.Label, ev.Parts, ev.Tuples)
+	}
+
+	// Pipeline-breaker finalizations ('F' on the compile lane above).
+	first = true
 	for _, ev := range merged.Events() {
 		if ev.Kind != exec.EvFinalize {
 			continue

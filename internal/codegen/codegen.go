@@ -60,6 +60,13 @@ type Pipeline struct {
 	SinkJoin int
 	SinkAgg  int
 	SinkOut  int
+
+	// Prune holds the sargable conjuncts of a scan pipeline's filter for
+	// zone-map block skipping (empty when the source has no usable
+	// conjuncts). The generated kernel retains the full predicate; the
+	// engine may use these to skip morsels whose blocks provably match
+	// nothing.
+	Prune []PruneCond
 }
 
 // JoinDesc mirrors the layout the generated code assumed for a join hash

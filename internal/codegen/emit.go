@@ -207,6 +207,7 @@ func (g *cgen) emitScanPipeline(s *plan.Scan, ops []pipeOp, sk sink, label strin
 		return g.scanResolver(p, s, i)
 	}, ops, sk)
 	g.addPipeline(f, label, s.Table, -1, sk)
+	g.q.Pipelines[len(g.q.Pipelines)-1].Prune = extractPrune(s)
 }
 
 func (g *cgen) scanResolver(p *pgen, s *plan.Scan, i *ir.Value) resolver {

@@ -54,6 +54,16 @@ type Options struct {
 	VM vm.Options
 	// MorselSize overrides the initial morsel size (default 2048).
 	MorselSize int64
+	// MorselCap bounds the grown morsel size (default 65536 tuples).
+	MorselCap int64
+	// MorselGrowEvery is the claim cadence of geometric morsel growth:
+	// the morsel size doubles every MorselGrowEvery claims until it
+	// reaches MorselCap (default 8).
+	MorselGrowEvery int64
+	// NoZoneMaps disables zone-map morsel pruning: every scan dispatches
+	// all blocks even when per-block min/max statistics prove the scan's
+	// sargable predicate rejects them.
+	NoZoneMaps bool
 	// CacheBytes is the byte budget of the plan-fingerprint compilation
 	// cache; 0 disables caching (every query translates and compiles from
 	// scratch, the paper's experiment setup).
@@ -99,6 +109,15 @@ func New(opts Options) *Engine {
 	if opts.MorselSize <= 0 {
 		opts.MorselSize = 2048
 	}
+	if opts.MorselCap <= 0 {
+		opts.MorselCap = 65536
+	}
+	if opts.MorselCap < opts.MorselSize {
+		opts.MorselCap = opts.MorselSize
+	}
+	if opts.MorselGrowEvery <= 0 {
+		opts.MorselGrowEvery = 8
+	}
 	if opts.CompileWorkers <= 0 {
 		opts.CompileWorkers = 2
 	}
@@ -136,6 +155,7 @@ type Stats struct {
 	Compile   time.Duration // up-front compilation (static modes)
 	Exec      time.Duration // queryStart + pipelines + result decode
 	Finalize  time.Duration // pipeline-breaker wall time (within Exec)
+	PruneTime time.Duration // zone-map mask construction (within Exec)
 	Total     time.Duration
 
 	Instrs       int // IR instructions in the module
@@ -147,6 +167,13 @@ type Stats struct {
 	Finalizes    int     // pipeline breakers finalized
 	FilterHits   int64   // probes whose Bloom filter passed (FilterStats)
 	FilterSkips  int64   // probes whose chain walk was skipped (FilterStats)
+
+	// Zone-map pruning: blocks/tuples skipped without dispatching, and
+	// the total source tuples of scans that carried a prune descriptor
+	// (the denominator of the skip rate).
+	BlocksPruned   int64
+	TuplesPruned   int64
+	PrunableTuples int64
 
 	// Fingerprint is the plan fingerprint (abbreviated hex); CacheHit
 	// reports whether translation/compilation was served from the cache,

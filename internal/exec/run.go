@@ -257,41 +257,101 @@ func (qr *queryRun) decodeOutput() [][]expr.Datum {
 // single-evaluator gate of the controller (§III-C).
 type progress struct {
 	total   int64
+	work    int64 // total minus zone-map-pruned tuples
 	cursor  atomic.Int64
 	done    atomic.Int64
 	claims  atomic.Int64
 	base    int64
+	cap     int64
+	grow    int64
 	started time.Time
+
+	// Zone-map pruning (nil when the scan has no prunable blocks): the
+	// dispatcher never hands out a morsel intersecting a pruned block.
+	pruned    []bool
+	blockRows int64
 
 	rates    []atomic.Uint64 // per worker: float64 bits, tuples/sec
 	evalGate atomic.Bool
 }
 
-func newProgress(total int64, workers int, base int64) *progress {
+func newProgress(total int64, workers int, o Options) *progress {
 	return &progress{
-		total: total, base: base, started: time.Now(),
+		total: total, work: total, started: time.Now(),
+		base: o.MorselSize, cap: o.MorselCap, grow: o.MorselGrowEvery,
 		rates: make([]atomic.Uint64, workers),
 	}
 }
 
-// claim returns the next morsel. Morsels grow geometrically (×2 every 8
-// claims, capped at 64k tuples): small morsels early give the controller
-// dense rate samples; large morsels later amortize dispatch (§III-A).
-func (pr *progress) claim() (int64, int64, bool) {
+// setPruneMask installs a zone-map mask before workers start; pruned
+// tuples leave the remaining work the controller extrapolates over.
+func (pr *progress) setPruneMask(pm *pruneMask) {
+	pr.pruned = pm.pruned
+	pr.blockRows = pm.blockRows
+	pr.work = pr.total - pm.prunedTuples
+}
+
+// morselSize returns the next morsel's size. Morsels grow geometrically
+// (×2 every grow-cadence claims, capped): small morsels early give the
+// controller dense rate samples; large morsels later amortize dispatch
+// (§III-A).
+func (pr *progress) morselSize() int64 {
 	n := pr.claims.Add(1) - 1
-	size := pr.base << uint(minI64(n/8, 5))
-	if size > 65536 {
-		size = 65536
+	size := pr.base << uint(minI64(n/pr.grow, 30))
+	if size > pr.cap || size <= 0 {
+		size = pr.cap
 	}
-	begin := pr.cursor.Add(size) - size
-	if begin >= pr.total {
-		return 0, 0, false
+	return size
+}
+
+// claim returns the next morsel. Without a prune mask the cursor is a
+// plain fetch-and-add; with one, a CAS loop skips runs of pruned blocks
+// and clips morsels at the next pruned boundary, so pruned tuples are
+// never dispatched (and never counted as processed work).
+func (pr *progress) claim() (int64, int64, bool) {
+	size := pr.morselSize()
+	if pr.pruned == nil {
+		begin := pr.cursor.Add(size) - size
+		if begin >= pr.total {
+			return 0, 0, false
+		}
+		end := begin + size
+		if end > pr.total {
+			end = pr.total
+		}
+		return begin, end, true
 	}
-	end := begin + size
-	if end > pr.total {
-		end = pr.total
+	for {
+		begin := pr.cursor.Load()
+		if begin >= pr.total {
+			return 0, 0, false
+		}
+		b := begin / pr.blockRows
+		if pr.pruned[b] {
+			for int(b) < len(pr.pruned) && pr.pruned[b] {
+				b++
+			}
+			skip := b * pr.blockRows
+			if skip > pr.total {
+				skip = pr.total
+			}
+			pr.cursor.CompareAndSwap(begin, skip)
+			continue
+		}
+		end := begin + size
+		if end > pr.total {
+			end = pr.total
+		}
+		for nb := b + 1; nb*pr.blockRows < end; nb++ {
+			if pr.pruned[nb] {
+				end = nb * pr.blockRows
+				break
+			}
+		}
+		if pr.cursor.CompareAndSwap(begin, end) {
+			return begin, end, true
+		}
 	}
-	return begin, end, true
 }
 
 // abort drains all remaining morsels (on failure).
@@ -344,7 +404,10 @@ func (qr *queryRun) runPipeline(id int) {
 	h := qr.handles[id]
 	total := qr.sourceTotal(pl)
 	if total > 0 {
-		pr := newProgress(total, qr.eng.opts.Workers, qr.eng.opts.MorselSize)
+		pr := newProgress(total, qr.eng.opts.Workers, qr.eng.opts)
+		if len(pl.Prune) > 0 && !qr.eng.opts.NoZoneMaps {
+			qr.applyZoneMaps(pl, pr, total)
+		}
 		var wg sync.WaitGroup
 		for w := 0; w < qr.eng.opts.Workers; w++ {
 			wg.Add(1)
@@ -389,6 +452,29 @@ func (qr *queryRun) runPipeline(id int) {
 		d := qr.cq.Aggs[pl.SinkAgg]
 		qr.mem.Store64(qr.qs.StateAddr+rt.Addr(d.IndexStateOff), set.IndexAddr)
 		qr.noteFinalize(pl, time.Since(t0), t0, parts, int64(set.Groups))
+	}
+}
+
+// applyZoneMaps builds the prune mask for a scan pipeline from the
+// table's zone maps and installs it on the progress tracker, accounting
+// the skipped blocks/tuples in Stats and the trace. Runs on the
+// coordinator before any worker claims a morsel.
+func (qr *queryRun) applyZoneMaps(pl *codegen.Pipeline, pr *progress, total int64) {
+	t0 := time.Now()
+	pm := buildPruneMask(pl.Table, pl.Prune)
+	d := time.Since(t0)
+	qr.stats.PruneTime += d
+	qr.stats.PrunableTuples += total
+	if pm == nil {
+		return
+	}
+	pr.setPruneMask(pm)
+	qr.stats.BlocksPruned += pm.prunedBlocks
+	qr.stats.TuplesPruned += pm.prunedTuples
+	if qr.trace != nil {
+		qr.trace.Add(Event{Kind: EvPrune, Pipeline: pl.ID, Label: pl.Label,
+			Worker: -1, Start: qr.trace.Since(t0), End: qr.trace.Since(t0) + d,
+			Tuples: pm.prunedTuples, Parts: int(pm.prunedBlocks)})
 	}
 }
 
@@ -532,7 +618,10 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 		return
 	}
 	m := qr.eng.opts.Cost
-	n := float64(pr.total - pr.done.Load())
+	// Remaining work excludes zone-map-pruned tuples: they are never
+	// dispatched, so extrapolating over them would overstate the payoff
+	// of compiling (§III-C).
+	n := float64(pr.work - pr.done.Load())
 	w := float64(qr.eng.opts.Workers)
 	cur := h.Level()
 	curSpeed := m.Speedup(cur)

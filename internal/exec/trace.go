@@ -17,6 +17,7 @@ const (
 	EvCompile
 	EvPhase    // planning / codegen / up-front compilation
 	EvFinalize // pipeline-breaker finalization (join link / agg merge)
+	EvPrune    // zone-map mask construction (Tuples/Parts = pruned tuples/blocks)
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -97,7 +98,7 @@ func (tr *Trace) Gantt(width int) string {
 		if ev.Worker > maxWorker {
 			maxWorker = ev.Worker
 		}
-		if ev.Kind == EvCompile || ev.Kind == EvFinalize {
+		if ev.Kind == EvCompile || ev.Kind == EvFinalize || ev.Kind == EvPrune {
 			hasCompile = true
 		}
 	}
@@ -136,6 +137,9 @@ func (tr *Trace) Gantt(width int) string {
 		case EvFinalize:
 			lane = maxWorker + 1
 			ch = 'F'
+		case EvPrune:
+			lane = maxWorker + 1
+			ch = 'Z'
 		case EvPhase:
 			ch = '='
 		}

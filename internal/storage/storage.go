@@ -71,6 +71,7 @@ type Column struct {
 	data []byte
 	heap []byte // string heap (String kind only)
 	rows int
+	zone *ZoneMap // per-block min/max statistics (zonemap.go)
 }
 
 // NewColumn creates an empty column.
@@ -92,13 +93,21 @@ func (c *Column) Data() []byte { return c.data }
 // non-string columns).
 func (c *Column) Heap() []byte { return c.heap }
 
-// Grow reserves capacity for n additional rows.
-func (c *Column) Grow(n int) {
-	need := len(c.data) + n*c.Kind.Width()
-	if cap(c.data) < need {
+// Reserve pre-allocates capacity for rows additional rows and — for
+// String columns — heapBytes additional heap bytes, so bulk loads append
+// without incremental growth copies.
+func (c *Column) Reserve(rows, heapBytes int) {
+	if need := len(c.data) + rows*c.Kind.Width(); cap(c.data) < need {
 		nd := make([]byte, len(c.data), need)
 		copy(nd, c.data)
 		c.data = nd
+	}
+	if heapBytes > 0 {
+		if need := len(c.heap) + heapBytes; cap(c.heap) < need {
+			nh := make([]byte, len(c.heap), need)
+			copy(nh, c.heap)
+			c.heap = nh
+		}
 	}
 }
 

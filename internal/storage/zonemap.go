@@ -1,0 +1,135 @@
+package storage
+
+import "math"
+
+// DefaultZoneBlockRows is the default zone-map block size: per-block
+// min/max statistics are kept for every DefaultZoneBlockRows consecutive
+// rows. 64k rows matches the engine's largest morsel, so a fully-pruned
+// block removes at least one dispatched kernel invocation.
+const DefaultZoneBlockRows = 65536
+
+// ZoneMap holds small materialized aggregates — per-block min/max — over a
+// fixed-width column (Int64, Decimal, Date, Float64, Char). The engine
+// consults it to skip morsels whose block statistics prove that a scan's
+// sargable predicate rejects every contained row; String columns carry no
+// zone map.
+//
+// Integer-representable kinds (Int64, Decimal, Date, Char) populate
+// MinI/MaxI with the raw stored values (Decimal: scaled integers, Date:
+// day numbers, Char: the byte value zero-extended — exactly the value the
+// generated comparison code sees). Float64 columns populate MinF/MaxF,
+// ignoring NaNs: a NaN row can never satisfy a comparison predicate, so
+// excluding it from the statistics keeps pruning conservative. An
+// all-NaN block gets the empty range [+Inf, -Inf], which no predicate
+// matches — correctly prunable.
+type ZoneMap struct {
+	// BlockRows is the block size the map was built with.
+	BlockRows int
+	// Rows is the number of rows covered at build time. A zone map is
+	// only valid while the column still has exactly Rows rows; appending
+	// invalidates it (Column.Zone returns nil for stale maps).
+	Rows int
+
+	MinI, MaxI []int64
+	MinF, MaxF []float64
+}
+
+// Blocks returns the number of blocks covered (the last may be partial).
+func (zm *ZoneMap) Blocks() int {
+	if zm.BlockRows <= 0 {
+		return 0
+	}
+	return (zm.Rows + zm.BlockRows - 1) / zm.BlockRows
+}
+
+// BuildZoneMap computes per-block min/max statistics with the given block
+// size (<= 0 selects DefaultZoneBlockRows). String columns have no
+// orderable fixed-width representation; building on one clears any stale
+// map and records nothing.
+func (c *Column) BuildZoneMap(blockRows int) {
+	c.zone = nil
+	if c.Kind == String {
+		return
+	}
+	if blockRows <= 0 {
+		blockRows = DefaultZoneBlockRows
+	}
+	zm := &ZoneMap{BlockRows: blockRows, Rows: c.rows}
+	nb := zm.Blocks()
+	if c.Kind == Float64 {
+		zm.MinF = make([]float64, nb)
+		zm.MaxF = make([]float64, nb)
+		for b := 0; b < nb; b++ {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			end := (b + 1) * blockRows
+			if end > c.rows {
+				end = c.rows
+			}
+			for i := b * blockRows; i < end; i++ {
+				v := c.Float64At(i)
+				if math.IsNaN(v) {
+					continue
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			zm.MinF[b], zm.MaxF[b] = lo, hi
+		}
+	} else {
+		zm.MinI = make([]int64, nb)
+		zm.MaxI = make([]int64, nb)
+		for b := 0; b < nb; b++ {
+			lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+			end := (b + 1) * blockRows
+			if end > c.rows {
+				end = c.rows
+			}
+			for i := b * blockRows; i < end; i++ {
+				var v int64
+				if c.Kind == Char {
+					v = int64(c.CharAt(i))
+				} else {
+					v = c.Int64At(i)
+				}
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			zm.MinI[b], zm.MaxI[b] = lo, hi
+		}
+	}
+	c.zone = zm
+}
+
+// Zone returns the column's zone map, or nil when none was built, the
+// column is a String column, or rows were appended since the build (a
+// stale map is never handed out, so pruning stays conservative without
+// per-append bookkeeping).
+func (c *Column) Zone() *ZoneMap {
+	if c.zone == nil || c.zone.Rows != c.rows {
+		return nil
+	}
+	return c.zone
+}
+
+// BuildZoneMaps builds (or rebuilds) zone maps for every fixed-width
+// column of the table. blockRows <= 0 selects DefaultZoneBlockRows.
+func (t *Table) BuildZoneMaps(blockRows int) {
+	for _, c := range t.Cols {
+		c.BuildZoneMap(blockRows)
+	}
+}
+
+// BuildZoneMaps builds zone maps for every table in the catalog.
+func (cat *Catalog) BuildZoneMaps(blockRows int) {
+	for _, name := range cat.order {
+		cat.tables[name].BuildZoneMaps(blockRows)
+	}
+}

@@ -29,7 +29,9 @@ func Table(rows int) *storage.Table {
 		d.AppendInt64(int64(rng.Intn(10000)))
 		e.AppendInt64(int64(rng.Intn(50)))
 	}
-	return storage.NewTable("synth", a, b, c, d, e)
+	t := storage.NewTable("synth", a, b, c, d, e)
+	t.BuildZoneMaps(storage.DefaultZoneBlockRows)
+	return t
 }
 
 // WideAggPlan builds a scan of t with nAggs distinct aggregate

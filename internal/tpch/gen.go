@@ -9,6 +9,7 @@ package tpch
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"aqe/internal/storage"
 )
@@ -108,7 +109,18 @@ func Gen(sf float64) *storage.Catalog {
 	orders, lineitem := genOrders(rng, nOrd, nCust, nPart, nSupp)
 	cat.Add(orders)
 	cat.Add(lineitem)
+	// Zone maps are part of load: per-block min/max over every fixed-width
+	// column. Orders are generated in date order, so the date columns of
+	// orders/lineitem are clustered and their maps actually prune.
+	cat.BuildZoneMaps(storage.DefaultZoneBlockRows)
 	return cat
+}
+
+// reserveFixed presizes fixed-width columns for n rows.
+func reserveFixed(n int, cols ...*storage.Column) {
+	for _, c := range cols {
+		c.Reserve(n, 0)
+	}
 }
 
 func scaled(base int, sf float64) int {
@@ -169,6 +181,11 @@ func genSupplier(rng *rand.Rand, n int) *storage.Table {
 	ph := storage.NewColumn("s_phone", storage.String)
 	bal := storage.NewColumn("s_acctbal", storage.Decimal)
 	cmt := storage.NewColumn("s_comment", storage.String)
+	reserveFixed(n, key, nk, bal)
+	name.Reserve(n, n*19)
+	addr.Reserve(n, n*14)
+	ph.Reserve(n, n*15)
+	cmt.Reserve(n, n*45)
 	for i := 1; i <= n; i++ {
 		nat := rng.Intn(len(nations))
 		key.AppendInt64(int64(i))
@@ -197,6 +214,13 @@ func genPart(rng *rand.Rand, n int) *storage.Table {
 	cont := storage.NewColumn("p_container", storage.String)
 	price := storage.NewColumn("p_retailprice", storage.Decimal)
 	cmt := storage.NewColumn("p_comment", storage.String)
+	reserveFixed(n, key, size, price)
+	name.Reserve(n, n*33)
+	mfgr.Reserve(n, n*15)
+	brand.Reserve(n, n*9)
+	typ.Reserve(n, n*21)
+	cont.Reserve(n, n*8)
+	cmt.Reserve(n, n*23)
 	for i := 1; i <= n; i++ {
 		m := 1 + rng.Intn(5)
 		b := m*10 + 1 + rng.Intn(5)
@@ -234,6 +258,9 @@ func genPartsupp(rng *rand.Rand, nPart, nSupp int) *storage.Table {
 	qty := storage.NewColumn("ps_availqty", storage.Int64)
 	cost := storage.NewColumn("ps_supplycost", storage.Decimal)
 	cmt := storage.NewColumn("ps_comment", storage.String)
+	rows := nPart * suppPerPart
+	reserveFixed(rows, pk, sk, qty, cost)
+	cmt.Reserve(rows, rows*30)
 	for p := 1; p <= nPart; p++ {
 		for j := 0; j < suppPerPart; j++ {
 			pk.AppendInt64(int64(p))
@@ -255,6 +282,12 @@ func genCustomer(rng *rand.Rand, n int) *storage.Table {
 	bal := storage.NewColumn("c_acctbal", storage.Decimal)
 	seg := storage.NewColumn("c_mktsegment", storage.String)
 	cmt := storage.NewColumn("c_comment", storage.String)
+	reserveFixed(n, key, nk, bal)
+	name.Reserve(n, n*18)
+	addr.Reserve(n, n*15)
+	ph.Reserve(n, n*15)
+	seg.Reserve(n, n*10)
+	cmt.Reserve(n, n*45)
 	for i := 1; i <= n; i++ {
 		nat := rng.Intn(len(nations))
 		key.AppendInt64(int64(i))
@@ -297,7 +330,28 @@ func genOrders(rng *rand.Rand, nOrd, nCust, nPart, nSupp int) (*storage.Table, *
 	lMode := storage.NewColumn("l_shipmode", storage.String)
 	lCmt := storage.NewColumn("l_comment", storage.String)
 
+	estLines := nOrd * 4 // 1..7 lines per order, mean 4
+	reserveFixed(nOrd, oKey, oCust, oStatus, oTotal, oDate, oShip)
+	oPrio.Reserve(nOrd, nOrd*12)
+	oClerk.Reserve(nOrd, nOrd*15)
+	oCmt.Reserve(nOrd, nOrd*37)
+	reserveFixed(estLines, lOrd, lPart, lSupp, lNum, lQty, lPrice, lDisc,
+		lTax, lRet, lStat, lShip, lCommit, lRcpt)
+	lInstr.Reserve(estLines, estLines*14)
+	lMode.Reserve(estLines, estLines*5)
+	lCmt.Reserve(estLines, estLines*23)
+
+	// Orders are emitted chronologically — the natural load order of a
+	// transactional history (dbgen's o_orderkey is a surrogate anyway).
+	// The date columns of orders and the lineitems hanging off them
+	// (l_shipdate = o_orderdate + 1..121, ...) thus cluster by block,
+	// which is what gives their zone maps pruning power.
 	dateRange := int(endDate - startDate)
+	odates := make([]int64, nOrd)
+	for i := range odates {
+		odates[i] = startDate + int64(rng.Intn(dateRange-121))
+	}
+	sort.Slice(odates, func(i, j int) bool { return odates[i] < odates[j] })
 	for o := 1; o <= nOrd; o++ {
 		// As in dbgen, customers whose key is divisible by 3 place no
 		// orders (Q13/Q22 depend on orderless customers existing).
@@ -308,7 +362,7 @@ func genOrders(rng *rand.Rand, nOrd, nCust, nPart, nSupp int) (*storage.Table, *
 				cust = 1
 			}
 		}
-		odate := startDate + int64(rng.Intn(dateRange-121))
+		odate := odates[o-1]
 		nLines := 1 + rng.Intn(7)
 		var total int64
 		allF, allO := true, true
