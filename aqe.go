@@ -87,6 +87,10 @@ type Options struct {
 	// block even when per-block min/max statistics prove the pushed-down
 	// predicate rejects it.
 	NoZoneMaps bool
+	// NoDict disables the order-preserving string dictionaries: string
+	// predicates, group hashing, and zone-map pruning run against the raw
+	// strings (results are bit-identical either way).
+	NoDict bool
 }
 
 // Result is a materialized query result (see exec.Result).
@@ -112,7 +116,8 @@ func Open(opts Options) *DB {
 	eopts := exec.Options{Workers: opts.Workers, Mode: opts.Mode,
 		Cost: opts.Cost, Trace: opts.Trace, CacheBytes: cacheBytes,
 		SerialFinalize: opts.SerialFinalize, NoJoinFilter: opts.NoJoinFilter,
-		FilterStats: opts.FilterStats, NoZoneMaps: opts.NoZoneMaps}
+		FilterStats: opts.FilterStats, NoZoneMaps: opts.NoZoneMaps,
+		NoDict: opts.NoDict}
 	if eopts.Mode == 0 && opts.Cost == nil {
 		eopts.Mode = ModeAdaptive
 	}

@@ -74,4 +74,8 @@ func show(res *aqe.Result, err error) {
 			res.Stats.BlocksPruned, res.Stats.TuplesPruned,
 			100*float64(res.Stats.TuplesPruned)/float64(res.Stats.PrunableTuples))
 	}
+	if res.Stats.DictRewrites > 0 {
+		fmt.Printf("(dictionary: %d string op(s) rewritten to codes, %d hit, %d string block(s) pruned)\n",
+			res.Stats.DictRewrites, res.Stats.DictHits, res.Stats.StringBlocksPruned)
+	}
 }

@@ -6,7 +6,7 @@
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
 // Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
-// cache, breakers, zonemaps.
+// cache, breakers, zonemaps, dict.
 package main
 
 import (
@@ -40,7 +40,7 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
@@ -67,6 +67,7 @@ func main() {
 	run("cache", cacheExp)
 	run("breakers", breakers)
 	run("zonemaps", zonemaps)
+	run("dict", dict)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -702,6 +703,91 @@ func zonemaps() {
 	}
 	// The catalog is shared across experiments: restore the default maps.
 	cat.BuildZoneMaps(storage.DefaultZoneBlockRows)
+}
+
+// ---- dict: order-preserving string dictionaries on/off ----
+
+// dict measures what the dictionary rewrites buy: all 22 TPC-H queries
+// with NoDict on vs off (optimized mode, native costs — string predicate
+// and hashing throughput is the quantity under test) with per-query
+// rewrite counts and string zone-map skips, then a synthetic
+// high-cardinality string workload whose clustered key makes code-valued
+// zone maps prune.
+func dict() {
+	cat := catalog(*sfFlag)
+	native := exec.Native()
+	const reps = 3
+	exe := func(qn int, off bool) *exec.Result {
+		var best *exec.Result
+		for r := 0; r < reps; r++ {
+			e := exec.New(exec.Options{Workers: *workers, Mode: exec.ModeOptimized,
+				Cost: native, NoDict: off})
+			res, err := e.Run(tpch.Query(cat, qn))
+			if err != nil {
+				panic(fmt.Sprintf("Q%d: %v", qn, err))
+			}
+			if best == nil || res.Stats.Exec < best.Stats.Exec {
+				best = res
+			}
+		}
+		return best
+	}
+	fmt.Printf("string dictionaries at SF %.2f, %d workers (optimized mode, native costs, exec time, best of %d)\n",
+		*sfFlag, *workers, reps)
+	fmt.Printf("%-6s %10s %10s %9s %9s %9s %10s %7s\n",
+		"query", "off[ms]", "on[ms]", "speedup", "rewrites", "strblk", "pruned", "skip%")
+	for qn := 1; qn <= 22; qn++ {
+		off := exe(qn, true)
+		on := exe(qn, false)
+		st := on.Stats
+		pct := 0.0
+		if st.PrunableTuples > 0 {
+			pct = 100 * float64(st.TuplesPruned) / float64(st.PrunableTuples)
+		}
+		fmt.Printf("%-6s %10.2f %10.2f %8.2fx %9d %9d %10d %6.1f%%\n",
+			fmt.Sprintf("Q%d", qn), ms(off.Stats.Exec), ms(on.Stats.Exec),
+			ms(off.Stats.Exec)/ms(on.Stats.Exec),
+			st.DictRewrites, st.StringBlocksPruned, st.TuplesPruned, pct)
+	}
+	fmt.Println("(rewrites/strblk/skip% report the final stage of multi-stage queries)")
+
+	// Synthetic high-cardinality string workload: a near-sorted key column
+	// (range predicate → tight code zone maps) plus a low-cardinality
+	// category LIKE and a group-by on the category.
+	rows := int(*sfFlag * 6_000_000)
+	if rows < 50_000 {
+		rows = 50_000
+	}
+	st := synth.StringTable(rows)
+	lo := fmt.Sprintf("sku-%08d", rows*4*45/100)
+	hi := fmt.Sprintf("sku-%08d", rows*4*55/100)
+	synExe := func(off bool) *exec.Result {
+		var best *exec.Result
+		for r := 0; r < reps; r++ {
+			e := exec.New(exec.Options{Workers: *workers, Mode: exec.ModeOptimized,
+				Cost: native, NoDict: off})
+			res, err := e.RunPlan(synth.StringAggPlan(st, lo, hi), "strsynth")
+			if err != nil {
+				panic(err)
+			}
+			if best == nil || res.Stats.Exec < best.Stats.Exec {
+				best = res
+			}
+		}
+		return best
+	}
+	off := synExe(true)
+	on := synExe(false)
+	s := on.Stats
+	pct := 0.0
+	if s.PrunableTuples > 0 {
+		pct = 100 * float64(s.TuplesPruned) / float64(s.PrunableTuples)
+	}
+	fmt.Printf("\nsynthetic string table (%d rows, ~%d distinct keys, 10%% key range + category LIKE, group by category)\n",
+		rows, rows)
+	fmt.Printf("  dict off: %8.2f ms   dict on: %8.2f ms   speedup: %.2fx   rewrites: %d   string blocks pruned: %d   skip%%: %.1f\n",
+		ms(off.Stats.Exec), ms(on.Stats.Exec), ms(off.Stats.Exec)/ms(on.Stats.Exec),
+		s.DictRewrites, s.StringBlocksPruned, pct)
 }
 
 type aqeDatum = expr.Datum

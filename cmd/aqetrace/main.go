@@ -65,6 +65,20 @@ func main() {
 			ev.Pipeline, ev.Label, ev.Parts, ev.Tuples)
 	}
 
+	// Dictionary-code rewrites ('D' on the compile lane above).
+	first = true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvDictRewrite {
+			continue
+		}
+		if first {
+			fmt.Println("\ndictionary rewrites:")
+			first = false
+		}
+		fmt.Printf("  pipeline %d (%s): %d string op(s) compiled against codes\n",
+			ev.Pipeline, ev.Label, ev.Tuples)
+	}
+
 	// Pipeline-breaker finalizations ('F' on the compile lane above).
 	first = true
 	for _, ev := range merged.Events() {

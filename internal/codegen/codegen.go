@@ -43,6 +43,12 @@ type Query struct {
 	SortKeys []plan.SortKey
 	Limit    int
 	Schema   []plan.ColDef
+
+	// DictRewrites counts string predicates and group-key hashes rewritten
+	// to dictionary codes across all pipelines; DictHits counts the subset
+	// whose literals occurred in the dictionary (misses fold to constants).
+	DictRewrites int
+	DictHits     int
 }
 
 // Pipeline is the metadata of one worker function.
@@ -67,6 +73,10 @@ type Pipeline struct {
 	// engine may use these to skip morsels whose blocks provably match
 	// nothing.
 	Prune []PruneCond
+
+	// DictRewrites counts the string predicates and group-key hashes of
+	// this pipeline rewritten to dictionary-code operations.
+	DictRewrites int
 }
 
 // JoinDesc mirrors the layout the generated code assumed for a join hash
@@ -118,6 +128,10 @@ type Options struct {
 	// FilterStats additionally maintains per-worker filter hit/skip
 	// counters in the local arena (costs two loads/stores per probe).
 	FilterStats bool
+	// NoDict disables every dictionary-code rewrite (predicates, group-key
+	// hashing, string zone-map pruning); string operations go through the
+	// byte-level runtime externs exactly as for undictionarized columns.
+	NoDict bool
 }
 
 // Compile translates a plan into IR with the default options (Bloom
@@ -136,6 +150,7 @@ func CompileOpts(root plan.Node, mem *rt.Memory, name string, opts Options) (*Qu
 		opts:       opts,
 		colBase:    make(map[*storage.Column]uint64),
 		heapBase:   make(map[*storage.Column]uint64),
+		codeBase:   make(map[*storage.Dict]uint64),
 		litIdx:     make(map[string]int64),
 		patternIdx: make(map[string]int),
 	}
@@ -182,6 +197,7 @@ type cgen struct {
 
 	colBase  map[*storage.Column]uint64
 	heapBase map[*storage.Column]uint64
+	codeBase map[*storage.Dict]uint64
 
 	litBase uint64
 	litOff  int
@@ -191,6 +207,20 @@ type cgen struct {
 
 	stateOff int
 	localOff int
+
+	// pipeRewrites accumulates dictionary rewrites of the pipeline being
+	// generated; addPipeline moves it into Pipeline.DictRewrites.
+	pipeRewrites int
+}
+
+// noteDictRewrite records one dictionary-code rewrite against the current
+// pipeline and the query totals.
+func (g *cgen) noteDictRewrite(hit bool) {
+	g.pipeRewrites++
+	g.q.DictRewrites++
+	if hit {
+		g.q.DictHits++
+	}
 }
 
 // ---- resource allocation ----
@@ -228,6 +258,17 @@ func (g *cgen) tableBase(c *storage.Column) uint64 {
 	if c.Kind == storage.String {
 		g.heapBase[c] = g.mem.AddSegment(c.Heap())
 	}
+	return b
+}
+
+// dictBase registers the dictionary's code vector as a segment (once) and
+// returns its base address for embedding as a constant, like tableBase.
+func (g *cgen) dictBase(d *storage.Dict) uint64 {
+	if b, ok := g.codeBase[d]; ok {
+		return b
+	}
+	b := g.mem.AddSegment(d.Codes())
+	g.codeBase[d] = b
 	return b
 }
 

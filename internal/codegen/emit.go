@@ -13,6 +13,17 @@ import (
 // for the current tuple.
 type resolver func(idx int) expr.Val
 
+// dictResolver resolves column idx of the current pipeline schema to its
+// order-preserving dictionary (nil when not dictionary-encoded) and emits
+// the load of its code for the current tuple on demand. Code loads are
+// deliberately not memoized: each is a single i32 load, and a fresh load
+// at every use is trivially dominance-safe even inside CASE arms, where a
+// cached first-use definition would not dominate later uses.
+type dictResolver struct {
+	dict func(idx int) *storage.Dict
+	code func(idx int) expr.Val
+}
+
 // cached memoizes a resolver. Memoization is safe because code generation
 // only moves forward into dominated blocks along the pipeline spine, so a
 // value emitted at first use dominates all later uses.
@@ -44,14 +55,33 @@ type pgen struct {
 	state *ir.Value
 	local *ir.Value
 	cont  *ir.Block
+	// dres resolves dictionary codes of the current schema; nil when the
+	// pipeline source has no dictionary-encoded columns in scope (or
+	// Options.NoDict is set). Ops that change the schema swap it alongside
+	// the value resolver.
+	dres *dictResolver
 }
 
-// gen compiles an expression with column references resolved by res.
+// gen compiles an expression with column references resolved by res and
+// dictionary rewrites driven by the pipeline's current dictResolver.
 func (p *pgen) gen(e expr.Expr, res resolver) expr.Val {
-	old := p.cg.Col
+	old, oldDict, oldCode := p.cg.Col, p.cg.Dict, p.cg.CodeCol
 	p.cg.Col = func(i int) expr.Val { return res(i) }
+	if d := p.dres; d != nil {
+		p.cg.Dict = func(i int) expr.DictRef {
+			// The ok-pattern avoids handing expr a non-nil interface
+			// wrapping a nil *storage.Dict.
+			if sd := d.dict(i); sd != nil {
+				return sd
+			}
+			return nil
+		}
+		p.cg.CodeCol = d.code
+	} else {
+		p.cg.Dict, p.cg.CodeCol = nil, nil
+	}
 	v := p.cg.Gen(e)
-	p.cg.Col = old
+	p.cg.Col, p.cg.Dict, p.cg.CodeCol = old, oldDict, oldCode
 	return v
 }
 
@@ -134,7 +164,9 @@ func (g *cgen) emitWorker(label string, mkRes func(p *pgen, i *ir.Value) resolve
 		ir.I64, ir.I64, ir.I64, ir.I64) // state, local, begin, end
 	b := ir.NewBuilder(f)
 	p := &pgen{g: g, f: f, b: b, state: f.Params[0], local: f.Params[1]}
-	p.cg = &expr.CG{B: b, Pattern: g.internPattern, StrLit: g.internLit}
+	p.cg = &expr.CG{B: b, Pattern: g.internPattern, StrLit: g.internLit,
+		OnDictRewrite: g.noteDictRewrite}
+	g.pipeRewrites = 0
 
 	entry := b.B
 	head := f.NewBlock()
@@ -185,6 +217,7 @@ func (g *cgen) addPipeline(f *ir.Function, label string, table *storage.Table,
 		ID: len(g.q.Pipelines), Fn: f, Label: label,
 		Table: table, AggSource: aggSrc,
 		SinkJoin: -1, SinkAgg: -1, SinkOut: -1,
+		DictRewrites: g.pipeRewrites,
 	}
 	sk.annotate(pl)
 	g.q.Pipelines = append(g.q.Pipelines, pl)
@@ -204,10 +237,11 @@ func (g *cgen) emitScanPipeline(s *plan.Scan, ops []pipeOp, sk sink, label strin
 		label = fmt.Sprintf("%s %d", label, n)
 	}
 	f := g.emitWorker(label, func(p *pgen, i *ir.Value) resolver {
+		p.dres = g.scanDictResolver(p, s, i)
 		return g.scanResolver(p, s, i)
 	}, ops, sk)
 	g.addPipeline(f, label, s.Table, -1, sk)
-	g.q.Pipelines[len(g.q.Pipelines)-1].Prune = extractPrune(s)
+	g.q.Pipelines[len(g.q.Pipelines)-1].Prune = g.extractPrune(s)
 }
 
 func (g *cgen) scanResolver(p *pgen, s *plan.Scan, i *ir.Value) resolver {
@@ -229,6 +263,28 @@ func (g *cgen) scanResolver(p *pgen, s *plan.Scan, i *ir.Value) resolver {
 		default:
 			return expr.Val{X: b.Load(ir.I64, b.GEP(base, i, 8, 0))}
 		}
+	}
+}
+
+// scanDictResolver builds the dictionary resolver of a table scan: column
+// j resolves to its fresh order-preserving dictionary, and codes load as
+// zero-extended i32 from the dictionary's code vector at the loop
+// induction variable. Returns nil when rewrites are disabled.
+func (g *cgen) scanDictResolver(p *pgen, s *plan.Scan, i *ir.Value) *dictResolver {
+	if g.opts.NoDict {
+		return nil
+	}
+	return &dictResolver{
+		dict: func(j int) *storage.Dict {
+			return s.Table.MustCol(s.Cols[j]).Dict()
+		},
+		code: func(j int) expr.Val {
+			b := p.b
+			d := s.Table.MustCol(s.Cols[j]).Dict()
+			base := b.ConstI64(int64(g.dictBase(d)))
+			v := b.Load(ir.I32, b.GEP(base, i, 4, 0))
+			return expr.Val{X: b.ZExt(v, ir.I64)}
+		},
 	}
 }
 
@@ -334,7 +390,28 @@ func (op *projectOp) apply(p *pgen, res resolver, down func(resolver)) {
 		force(res, e)
 		vals[j] = p.gen(e, res)
 	}
+	// Bare column references keep their dictionary across the projection;
+	// computed expressions lose it.
+	oldD := p.dres
+	if oldD != nil {
+		remap := make(map[int]int, len(op.node.Exprs))
+		for j, e := range op.node.Exprs {
+			if cr, ok := e.(*expr.ColRef); ok {
+				remap[j] = cr.Idx
+			}
+		}
+		p.dres = &dictResolver{
+			dict: func(j int) *storage.Dict {
+				if src, ok := remap[j]; ok {
+					return oldD.dict(src)
+				}
+				return nil
+			},
+			code: func(j int) expr.Val { return oldD.code(remap[j]) },
+		}
+	}
 	down(func(j int) expr.Val { return vals[j] })
+	p.dres = oldD
 }
 
 // probeOp is a hash-join probe: it walks the bucket chain of the build-side
@@ -349,6 +426,23 @@ func (op *probeOp) apply(p *pgen, res resolver, down func(resolver)) {
 	f := p.f
 	j := op.join
 	np := len(j.Probe.Schema())
+
+	// Downstream schema is [probe ++ build]: probe-side columns keep their
+	// dictionaries, build-side columns come from materialized tuples (raw
+	// bytes, no code vector in scope).
+	oldD := p.dres
+	if oldD != nil {
+		p.dres = &dictResolver{
+			dict: func(idx int) *storage.Dict {
+				if idx < np {
+					return oldD.dict(idx)
+				}
+				return nil
+			},
+			code: func(idx int) expr.Val { return oldD.code(idx) },
+		}
+		defer func() { p.dres = oldD }()
+	}
 
 	keyTypes := make([]expr.Type, len(j.ProbeKeys))
 	keyVals := make([]expr.Val, len(j.ProbeKeys))

@@ -75,11 +75,14 @@ func (pc PruneCond) BlockMayMatchF(min, max float64) bool {
 
 // extractPrune collects the sargable conjuncts of a scan filter: the
 // top-level AND is flattened and every `col <cmp> const` (either operand
-// order) over a fixed-width column becomes a PruneCond. Conjuncts that
-// are not of this shape — disjunctions, LIKE, IN, column-column
-// comparisons, String columns — contribute nothing; the residual
-// predicate still runs in full inside the generated kernel.
-func extractPrune(s *plan.Scan) []PruneCond {
+// order) over a fixed-width column becomes a PruneCond. String conjuncts
+// (comparisons, IN, LIKE) over dictionary-encoded columns become
+// conditions on dictionary codes, matching the code-valued zone maps —
+// unless Options.NoDict disables dictionary use. Conjuncts of no usable
+// shape — disjunctions, column-column comparisons, strings without a
+// dictionary — contribute nothing; the residual predicate still runs in
+// full inside the generated kernel.
+func (g *cgen) extractPrune(s *plan.Scan) []PruneCond {
 	if s.Filter == nil {
 		return nil
 	}
@@ -94,10 +97,129 @@ func extractPrune(s *plan.Scan) []PruneCond {
 		}
 		if pc, ok := sargable(s, e); ok {
 			out = append(out, pc)
+			return
+		}
+		if !g.opts.NoDict {
+			out = append(out, stringPrune(s, e)...)
 		}
 	}
 	walk(s.Filter)
 	return out
+}
+
+// dictPruneMaxCard bounds the dictionary cardinality for which a LIKE
+// conjunct is evaluated against every dictionary value at plan-compile
+// time to derive its matched-code range (mirrors the bitmap-rewrite cap).
+const dictPruneMaxCard = 1 << 16
+
+// stringPrune derives code-domain PruneConds from a string conjunct over a
+// dictionary-encoded scan column. Equality and ordering map to the exact
+// code / code-range of the literal; IN and LIKE map to the min/max matched
+// code (a conservative envelope — blocks inside it still run the full
+// predicate). A conjunct no dictionary value satisfies yields the
+// impossible condition code = -1, pruning every block.
+func stringPrune(s *plan.Scan, e expr.Expr) []PruneCond {
+	colDict := func(ce expr.Expr) (*storage.Column, *storage.Dict) {
+		cr, ok := ce.(*expr.ColRef)
+		if !ok || cr.Idx < 0 || cr.Idx >= len(s.Cols) {
+			return nil, nil
+		}
+		col := s.Table.Col(s.Cols[cr.Idx])
+		if col == nil || col.Kind != storage.String {
+			return nil, nil
+		}
+		return col, col.Dict()
+	}
+	none := func(col *storage.Column) []PruneCond {
+		return []PruneCond{{Col: col, Op: expr.CmpEq, I: -1}}
+	}
+	span := func(col *storage.Column, lo, hi int64) []PruneCond {
+		return []PruneCond{
+			{Col: col, Op: expr.CmpGe, I: lo},
+			{Col: col, Op: expr.CmpLe, I: hi},
+		}
+	}
+	switch x := e.(type) {
+	case *expr.Cmp:
+		colE, constE, op := x.L, x.R, x.Op
+		if _, isCol := colE.(*expr.ColRef); !isCol {
+			colE, constE = x.R, x.L
+			op = flipCmp(op)
+		}
+		col, d := colDict(colE)
+		cst, isConst := constE.(*expr.Const)
+		if col == nil || d == nil || !isConst || cst.T.Kind != expr.KString {
+			return nil
+		}
+		code, found := d.Code(cst.S)
+		lb := d.LowerBound(cst.S)
+		ub := lb
+		if found {
+			ub++
+		}
+		switch op {
+		case expr.CmpEq:
+			if !found {
+				return none(col)
+			}
+			return []PruneCond{{Col: col, Op: expr.CmpEq, I: code}}
+		case expr.CmpNe:
+			if !found {
+				return nil
+			}
+			return []PruneCond{{Col: col, Op: expr.CmpNe, I: code}}
+		case expr.CmpLt:
+			return []PruneCond{{Col: col, Op: expr.CmpLt, I: lb}}
+		case expr.CmpLe:
+			return []PruneCond{{Col: col, Op: expr.CmpLt, I: ub}}
+		case expr.CmpGt:
+			return []PruneCond{{Col: col, Op: expr.CmpGe, I: ub}}
+		default: // CmpGe
+			return []PruneCond{{Col: col, Op: expr.CmpGe, I: lb}}
+		}
+	case *expr.InList:
+		col, d := colDict(x.Arg)
+		if col == nil || d == nil {
+			return nil
+		}
+		lo, hi := int64(math.MaxInt64), int64(-1)
+		for _, c := range x.List {
+			if code, ok := d.Code(c.S); ok {
+				if code < lo {
+					lo = code
+				}
+				if code > hi {
+					hi = code
+				}
+			}
+		}
+		if hi < 0 {
+			return none(col)
+		}
+		return span(col, lo, hi)
+	case *expr.LikeExpr:
+		if x.Negate {
+			return nil
+		}
+		col, d := colDict(x.Arg)
+		if col == nil || d == nil || d.Card() > dictPruneMaxCard {
+			return nil
+		}
+		lo, hi := int64(-1), int64(-1)
+		for i := 0; i < d.Card(); i++ {
+			if x.Compiled.Match([]byte(d.Value(i))) {
+				if lo < 0 {
+					lo = int64(i)
+				}
+				hi = int64(i)
+			}
+		}
+		if lo < 0 {
+			return none(col)
+		}
+		return span(col, lo, hi)
+	}
+	return nil
 }
 
 // sargable recognizes `col <cmp> const` / `const <cmp> col` over a

@@ -75,7 +75,26 @@ func (s *aggSink) emit(p *pgen, res resolver) {
 			keyTypes[i] = k.Type()
 			keyVals[i] = p.gen(k, res)
 		}
-		h := p.hashKeys(keyVals, keyTypes)
+		// Hash string keys that directly reference a dictionary-encoded
+		// column through their 4-byte code (the integer mixer) instead of
+		// str_hash over the bytes. Equal strings have equal codes within a
+		// column, so the hash stays consistent with the stored-key str_eq
+		// comparison below; the stored key remains the raw (addr, len).
+		hashVals := make([]expr.Val, len(gb.Keys))
+		hashTypes := make([]expr.Type, len(gb.Keys))
+		for i, k := range gb.Keys {
+			hashVals[i], hashTypes[i] = keyVals[i], keyTypes[i]
+			cr, isCol := k.(*expr.ColRef)
+			if !isCol || keyTypes[i].Kind != expr.KString || p.dres == nil {
+				continue
+			}
+			if p.dres.dict(cr.Idx) != nil {
+				hashVals[i] = p.dres.code(cr.Idx)
+				hashTypes[i] = expr.TInt
+				p.g.noteDictRewrite(true)
+			}
+		}
+		h := p.hashKeys(hashVals, hashTypes)
 		buckets := b.Load(ir.I64, b.GEP(p.local, nil, 0, localOff))
 		mask := b.Load(ir.I64, b.GEP(p.local, nil, 0, localOff+8))
 		head := b.Load(ir.I64, b.GEP(buckets, b.And(h, mask), 8, 0))

@@ -94,6 +94,11 @@ func TestBreakerConfigDifferential22(t *testing.T) {
 		{"filter-stats", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
 			FilterStats: true}},
 		{"bytecode-filter", Options{Workers: 4, Mode: ModeBytecode}},
+		{"no-dict", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
+			NoDict: true}},
+		{"no-dict-bytecode", Options{Workers: 4, Mode: ModeBytecode, NoDict: true}},
+		{"no-dict-no-zonemaps", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
+			NoDict: true, NoZoneMaps: true}},
 	}
 	want := make(map[int]string)
 	for _, cfg := range configs {

@@ -79,6 +79,10 @@ type Options struct {
 	// NoJoinFilter disables the Bloom-filter check in generated join
 	// probes (the filter is emitted by default).
 	NoJoinFilter bool
+	// NoDict disables dictionary-code rewrites of string predicates,
+	// code-based group hashing, and string zone-map pruning; queries run
+	// against the raw string columns (results are bit-identical).
+	NoDict bool
 	// FilterStats maintains per-worker filter hit/skip counters in
 	// generated probes and reports them in Stats. Off by default: the
 	// counters cost two extra memory operations per probe.
@@ -174,6 +178,14 @@ type Stats struct {
 	BlocksPruned   int64
 	TuplesPruned   int64
 	PrunableTuples int64
+
+	// Dictionary rewrites: string predicates / group keys compiled
+	// against dictionary codes (DictHits counts the ones that rewrote;
+	// DictRewrites also counts attempts that folded to constants), and
+	// blocks pruned by a string conjunct's code-domain zone map.
+	DictRewrites       int
+	DictHits           int
+	StringBlocksPruned int64
 
 	// Fingerprint is the plan fingerprint (abbreviated hex); CacheHit
 	// reports whether translation/compilation was served from the cache,
@@ -281,6 +293,7 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 	cq, err := codegen.CompileOpts(node, mem, name, codegen.Options{
 		JoinFilter:  !e.opts.NoJoinFilter,
 		FilterStats: e.opts.FilterStats && !e.opts.NoJoinFilter,
+		NoDict:      e.opts.NoDict,
 	})
 	if err != nil {
 		return nil, err
@@ -289,6 +302,8 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 	st.Codegen = time.Since(t0)
 	st.Instrs = cq.Module.NumInstrs()
 	st.Pipelines = len(cq.Pipelines)
+	st.DictRewrites = cq.DictRewrites
+	st.DictHits = cq.DictHits
 
 	qr, err := e.newQueryRun(cq, mem, &st)
 	if err != nil {
@@ -311,9 +326,14 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 		}
 	}
 
-	// Sort / limit on the decoded rows.
+	// Sort / limit on the decoded rows. ORDER BY + LIMIT keeps only the
+	// top k through a bounded heap instead of a full sort.
 	if len(cq.SortKeys) > 0 {
-		volcano.SortRows(rows, cq.SortKeys)
+		if cq.Limit >= 0 {
+			rows = volcano.TopK(rows, cq.SortKeys, cq.Limit)
+		} else {
+			volcano.SortRows(rows, cq.SortKeys)
+		}
 	}
 	if cq.Limit >= 0 && len(rows) > cq.Limit {
 		rows = rows[:cq.Limit]

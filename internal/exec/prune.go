@@ -13,6 +13,10 @@ type pruneMask struct {
 	pruned       []bool
 	prunedBlocks int64
 	prunedTuples int64
+
+	// prunedStrBlocks counts pruned blocks whose deciding conjunct was a
+	// string condition over dictionary codes (Stats.StringBlocksPruned).
+	prunedStrBlocks int64
 }
 
 // buildPruneMask evaluates the prune conditions against the table's zone
@@ -59,6 +63,9 @@ func buildPruneMask(t *storage.Table, conds []codegen.PruneCond) *pruneMask {
 			}
 			if !may {
 				pm.pruned[b] = true
+				if z.pc.Col.Kind == storage.String {
+					pm.prunedStrBlocks++
+				}
 				break
 			}
 		}

@@ -402,6 +402,11 @@ func minI64(a, b int64) int64 {
 func (qr *queryRun) runPipeline(id int) {
 	pl := qr.cq.Pipelines[id]
 	h := qr.handles[id]
+	if qr.trace != nil && pl.DictRewrites > 0 {
+		now := qr.trace.Since(time.Now())
+		qr.trace.Add(Event{Kind: EvDictRewrite, Pipeline: pl.ID, Label: pl.Label,
+			Worker: -1, Start: now, End: now, Tuples: int64(pl.DictRewrites)})
+	}
 	total := qr.sourceTotal(pl)
 	if total > 0 {
 		pr := newProgress(total, qr.eng.opts.Workers, qr.eng.opts)
@@ -471,6 +476,7 @@ func (qr *queryRun) applyZoneMaps(pl *codegen.Pipeline, pr *progress, total int6
 	pr.setPruneMask(pm)
 	qr.stats.BlocksPruned += pm.prunedBlocks
 	qr.stats.TuplesPruned += pm.prunedTuples
+	qr.stats.StringBlocksPruned += pm.prunedStrBlocks
 	if qr.trace != nil {
 		qr.trace.Add(Event{Kind: EvPrune, Pipeline: pl.ID, Label: pl.Label,
 			Worker: -1, Start: qr.trace.Since(t0), End: qr.trace.Since(t0) + d,

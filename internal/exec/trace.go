@@ -17,7 +17,8 @@ const (
 	EvCompile
 	EvPhase    // planning / codegen / up-front compilation
 	EvFinalize // pipeline-breaker finalization (join link / agg merge)
-	EvPrune    // zone-map mask construction (Tuples/Parts = pruned tuples/blocks)
+	EvPrune       // zone-map mask construction (Tuples/Parts = pruned tuples/blocks)
+	EvDictRewrite // dictionary-code rewrites baked into a pipeline (Tuples = rewrite count)
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -98,7 +99,8 @@ func (tr *Trace) Gantt(width int) string {
 		if ev.Worker > maxWorker {
 			maxWorker = ev.Worker
 		}
-		if ev.Kind == EvCompile || ev.Kind == EvFinalize || ev.Kind == EvPrune {
+		switch ev.Kind {
+		case EvCompile, EvFinalize, EvPrune, EvDictRewrite:
 			hasCompile = true
 		}
 	}
@@ -140,6 +142,9 @@ func (tr *Trace) Gantt(width int) string {
 		case EvPrune:
 			lane = maxWorker + 1
 			ch = 'Z'
+		case EvDictRewrite:
+			lane = maxWorker + 1
+			ch = 'D'
 		case EvPhase:
 			ch = '='
 		}

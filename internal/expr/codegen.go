@@ -14,6 +14,26 @@ type Val struct {
 	Len *ir.Value
 }
 
+// DictRef is the view of an order-preserving string dictionary that the
+// expression compiler needs for code-valued predicate rewrites. It is
+// implemented by storage.Dict; the indirection keeps expr free of a
+// storage dependency. Codes are dense [0, Card()) and preserve the value
+// order: Value(i) < Value(j) ⇔ i < j.
+type DictRef interface {
+	Card() int
+	Code(s string) (int64, bool)
+	LowerBound(s string) int64
+	Value(i int) string
+}
+
+// dictBitmapMaxCard bounds the dictionary cardinality for which LIKE and
+// long IN lists are compiled into a per-query code bitmap (one bit per
+// code, interned in the literal segment): 64k codes is an 8 KiB bitmap,
+// well within the literal budget, and covers every categorical TPC-H
+// column while excluding comment-style columns whose dictionaries are as
+// large as the table.
+const dictBitmapMaxCard = 1 << 16
+
 // CG compiles expressions into IR within a worker function. The plan code
 // generator supplies the column resolver (which loads the column value of
 // the current tuple), the LIKE pattern interner and the string literal
@@ -27,6 +47,41 @@ type CG struct {
 	// StrLit interns a string literal in the literal segment, returning
 	// its (address, length).
 	StrLit func(s string) (int64, int64)
+
+	// Dict returns the order-preserving dictionary of input column idx, or
+	// nil when the column is not dictionary-encoded in the current context
+	// (optional: nil Dict disables every dictionary rewrite).
+	Dict func(idx int) DictRef
+	// CodeCol loads the dictionary code of input column idx for the
+	// current tuple as an i64-widened uint32. Required whenever Dict can
+	// return non-nil; only called for such columns.
+	CodeCol func(idx int) Val
+	// OnDictRewrite, when set, is invoked once per string predicate
+	// rewritten to dictionary codes. hit reports whether any literal
+	// occurred in the dictionary (a miss folds to a constant).
+	OnDictRewrite func(hit bool)
+}
+
+// dictOf returns the dictionary and column index when e is a direct
+// reference to a dictionary-encoded string column, else (nil, 0).
+func (cg *CG) dictOf(e Expr) (DictRef, int) {
+	if cg.Dict == nil || cg.CodeCol == nil {
+		return nil, 0
+	}
+	c, ok := e.(*ColRef)
+	if !ok || c.T.Kind != KString {
+		return nil, 0
+	}
+	if d := cg.Dict(c.Idx); d != nil {
+		return d, c.Idx
+	}
+	return nil, 0
+}
+
+func (cg *CG) onDictRewrite(hit bool) {
+	if cg.OnDictRewrite != nil {
+		cg.OnDictRewrite(hit)
+	}
 }
 
 // Trap returns a fresh overflow-trap block: it calls the trap extern,
@@ -146,6 +201,9 @@ func (cg *CG) Gen(e Expr) Val {
 	case *NotExpr:
 		return Val{X: b.Xor(cg.asI1(cg.Gen(x.Arg).X), b.F.Const(ir.I1, 1))}
 	case *LikeExpr:
+		if v, ok := cg.genDictLike(x); ok {
+			return Val{X: v}
+		}
 		arg := cg.Gen(x.Arg)
 		pid := cg.Pattern(x.Pattern)
 		r := b.Call("str_like", ir.I64, b.ConstI64(int64(pid)), arg.X, arg.Len)
@@ -155,6 +213,9 @@ func (cg *CG) Gen(e Expr) Val {
 		}
 		return Val{X: c}
 	case *InList:
+		if v, ok := cg.genDictIn(x); ok {
+			return Val{X: v}
+		}
 		arg := cg.Gen(x.Arg)
 		isStr := x.Arg.Type().Kind == KString
 		var res *ir.Value
@@ -232,28 +293,195 @@ func (cg *CG) genArith(x *Arith) Val {
 	}
 }
 
+var cmpPreds = map[CmpOp]ir.Pred{
+	CmpEq: ir.Eq, CmpNe: ir.Ne, CmpLt: ir.SLt, CmpLe: ir.SLe,
+	CmpGt: ir.SGt, CmpGe: ir.SGe,
+}
+
+// flipCmp mirrors a comparison so the column lands on the left:
+// lit op col ⇔ col flipCmp(op) lit.
+func flipCmp(op CmpOp) CmpOp {
+	switch op {
+	case CmpLt:
+		return CmpGt
+	case CmpLe:
+		return CmpGe
+	case CmpGt:
+		return CmpLt
+	case CmpGe:
+		return CmpLe
+	}
+	return op
+}
+
 func (cg *CG) genCmp(x *Cmp) *ir.Value {
 	b := cg.B
-	l, r := cg.Gen(x.L), cg.Gen(x.R)
 	lt, rtt := x.L.Type(), x.R.Type()
 	if lt.Kind == KString {
-		res := b.Call("str_eq", ir.I64, l.X, l.Len, r.X, r.Len)
-		c := b.ICmp(ir.Ne, res, b.ConstI64(0))
-		if x.Op == CmpNe {
-			c = b.Xor(c, b.F.Const(ir.I1, 1))
+		if v, ok := cg.genDictCmp(x); ok {
+			return v
 		}
-		return c
+		l, r := cg.Gen(x.L), cg.Gen(x.R)
+		if x.Op == CmpEq || x.Op == CmpNe {
+			res := b.Call("str_eq", ir.I64, l.X, l.Len, r.X, r.Len)
+			c := b.ICmp(ir.Ne, res, b.ConstI64(0))
+			if x.Op == CmpNe {
+				c = b.Xor(c, b.F.Const(ir.I1, 1))
+			}
+			return c
+		}
+		res := b.Call("str_cmp", ir.I64, l.X, l.Len, r.X, r.Len)
+		return b.ICmp(cmpPreds[x.Op], res, b.ConstI64(0))
 	}
-	var preds = map[CmpOp]ir.Pred{
-		CmpEq: ir.Eq, CmpNe: ir.Ne, CmpLt: ir.SLt, CmpLe: ir.SLe,
-		CmpGt: ir.SGt, CmpGe: ir.SGe,
-	}
+	l, r := cg.Gen(x.L), cg.Gen(x.R)
 	if lt.Kind == KFloat || rtt.Kind == KFloat {
-		return b.FCmp(preds[x.Op], cg.toFloatIR(l, lt), cg.toFloatIR(r, rtt))
+		return b.FCmp(cmpPreds[x.Op], cg.toFloatIR(l, lt), cg.toFloatIR(r, rtt))
 	}
 	ls, rs := scaleOf(lt), scaleOf(rtt)
 	s := max(ls, rs)
-	return b.ICmp(preds[x.Op], cg.rescaleIR(l.X, s-ls), cg.rescaleIR(r.X, s-rs))
+	return b.ICmp(cmpPreds[x.Op], cg.rescaleIR(l.X, s-ls), cg.rescaleIR(r.X, s-rs))
+}
+
+// genDictCmp rewrites a string comparison between a dictionary-encoded
+// column and a literal into an integer comparison on dictionary codes.
+// The literal resolves at compile time: equality to its exact code (an
+// absent literal folds to constant false/true), ordering to the
+// half-open code range below/above its lower bound — valid whether or
+// not the literal itself occurs, because codes preserve the value order.
+// Reports false when the rewrite does not apply.
+func (cg *CG) genDictCmp(x *Cmp) (*ir.Value, bool) {
+	op := x.Op
+	col, lit := x.L, x.R
+	if _, isConst := col.(*Const); isConst {
+		col, lit = x.R, x.L
+		op = flipCmp(op)
+	}
+	d, idx := cg.dictOf(col)
+	c, isConst := lit.(*Const)
+	if d == nil || !isConst {
+		return nil, false
+	}
+	b := cg.B
+	switch op {
+	case CmpEq, CmpNe:
+		code, found := d.Code(c.S)
+		cg.onDictRewrite(found)
+		if !found {
+			return b.ConstI1(op == CmpNe), true
+		}
+		pred := ir.Eq
+		if op == CmpNe {
+			pred = ir.Ne
+		}
+		return b.ICmp(pred, cg.CodeCol(idx).X, b.ConstI64(code)), true
+	default:
+		lb := d.LowerBound(c.S)
+		ub := lb
+		if _, found := d.Code(c.S); found {
+			ub++
+		}
+		cg.onDictRewrite(true)
+		cv := cg.CodeCol(idx).X
+		switch op {
+		case CmpLt:
+			return b.ICmp(ir.SLt, cv, b.ConstI64(lb)), true
+		case CmpLe:
+			return b.ICmp(ir.SLt, cv, b.ConstI64(ub)), true
+		case CmpGt:
+			return b.ICmp(ir.SGe, cv, b.ConstI64(ub)), true
+		default: // CmpGe
+			return b.ICmp(ir.SGe, cv, b.ConstI64(lb)), true
+		}
+	}
+}
+
+// genDictLike compiles LIKE over a low-cardinality dictionary column by
+// matching the pattern against every dictionary value at compile time and
+// testing the tuple's code against the resulting bitmap. An empty (or
+// full) match set folds to a constant. Reports false when the rewrite
+// does not apply.
+func (cg *CG) genDictLike(x *LikeExpr) (*ir.Value, bool) {
+	d, idx := cg.dictOf(x.Arg)
+	if d == nil || d.Card() > dictBitmapMaxCard {
+		return nil, false
+	}
+	bits := make([]byte, (d.Card()+7)/8)
+	n := 0
+	for i := 0; i < d.Card(); i++ {
+		if x.Compiled.Match([]byte(d.Value(i))) {
+			bits[i>>3] |= 1 << (i & 7)
+			n++
+		}
+	}
+	cg.onDictRewrite(n > 0)
+	if n == 0 {
+		return cg.B.ConstI1(x.Negate), true
+	}
+	if n == d.Card() {
+		return cg.B.ConstI1(!x.Negate), true
+	}
+	return cg.codeBitmapTest(idx, bits, x.Negate), true
+}
+
+// genDictIn compiles string IN over a dictionary column: list literals
+// resolve to codes at compile time (absent ones drop out; an empty
+// survivor set folds to constant false). Short survivor lists become an
+// integer equality chain; longer ones a code bitmap. Reports false when
+// the rewrite does not apply.
+func (cg *CG) genDictIn(x *InList) (*ir.Value, bool) {
+	if x.Arg.Type().Kind != KString {
+		return nil, false
+	}
+	d, idx := cg.dictOf(x.Arg)
+	if d == nil {
+		return nil, false
+	}
+	var codes []int64
+	for _, c := range x.List {
+		if code, ok := d.Code(c.S); ok {
+			codes = append(codes, code)
+		}
+	}
+	cg.onDictRewrite(len(codes) > 0)
+	b := cg.B
+	if len(codes) == 0 {
+		return b.ConstI1(false), true
+	}
+	if len(codes) > 8 && d.Card() <= dictBitmapMaxCard {
+		bits := make([]byte, (d.Card()+7)/8)
+		for _, code := range codes {
+			bits[code>>3] |= 1 << (code & 7)
+		}
+		return cg.codeBitmapTest(idx, bits, false), true
+	}
+	cv := cg.CodeCol(idx).X
+	var res *ir.Value
+	for _, code := range codes {
+		hit := b.ICmp(ir.Eq, cv, b.ConstI64(code))
+		if res == nil {
+			res = hit
+		} else {
+			res = b.Or(res, hit)
+		}
+	}
+	return res, true
+}
+
+// codeBitmapTest interns the per-query code bitmap in the literal segment
+// (so it participates in the plan fingerprint) and emits the per-tuple
+// membership test: load the byte at bitmap+(code>>3), shift by code&7,
+// test bit 0.
+func (cg *CG) codeBitmapTest(idx int, bits []byte, negate bool) *ir.Value {
+	b := cg.B
+	addr, _ := cg.StrLit(string(bits))
+	code := cg.CodeCol(idx).X
+	byt := b.ZExt(b.Load(ir.I8, b.GEP(b.ConstI64(addr), b.LShr(code, b.ConstI64(3)), 1, 0)), ir.I64)
+	bit := b.And(b.LShr(byt, b.And(code, b.ConstI64(7))), b.ConstI64(1))
+	res := b.ICmp(ir.Ne, bit, b.ConstI64(0))
+	if negate {
+		res = b.Xor(res, b.ConstI1(true))
+	}
+	return res
 }
 
 // genCase lowers CASE into a block chain with a φ at the join.

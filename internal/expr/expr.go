@@ -311,9 +311,6 @@ func NewCmp(op CmpOp, l, r Expr) Expr {
 	if !comparable(lt, rtt) {
 		panic(fmt.Sprintf("expr: cannot compare %s %s %s", lt, op, rtt))
 	}
-	if lt.Kind == KString && op != CmpEq && op != CmpNe {
-		panic("expr: string comparison supports only = and <>")
-	}
 	return &Cmp{Op: op, L: l, R: r}
 }
 

@@ -321,7 +321,7 @@ func TestTypePanics(t *testing.T) {
 	mustPanic("add string", func() { Add(Str("a"), Int(1)) })
 	mustPanic("and non-bool", func() { And(Int(1), Bool(true)) })
 	mustPanic("like non-string", func() { Like(Int(1), "%x%") })
-	mustPanic("string lt", func() { Lt(Str("a"), Str("b")) })
+	mustPanic("string vs int", func() { Lt(Str("a"), Int(1)) })
 	mustPanic("case mismatched arms", func() {
 		Case([]When{{Cond: Bool(true), Then: Int(1)}}, Str("x"))
 	})

@@ -1,5 +1,7 @@
 package rt
 
+import "bytes"
+
 // QueryState is the per-query runtime state reachable from extern calls:
 // the address space, the hash tables and output buffers of every pipeline,
 // compiled LIKE patterns, and the shared/per-worker arenas whose layout
@@ -96,6 +98,11 @@ func RegisterBuiltins(r *Registry) {
 			return 1
 		}
 		return 0
+	})
+	r.Register("str_cmp", func(ctx *Ctx, args []uint64) uint64 {
+		a := ctx.Mem.Bytes(args[0], int(args[1]))
+		b := ctx.Mem.Bytes(args[2], int(args[3]))
+		return uint64(int64(bytes.Compare(a, b)))
 	})
 	r.Register("str_like", func(ctx *Ctx, args []uint64) uint64 {
 		p := state(ctx).Patterns[args[0]]

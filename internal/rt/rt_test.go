@@ -369,6 +369,34 @@ func TestLikeProperty(t *testing.T) {
 	if err := quick.Check(check, &quick.Config{MaxCount: 3000}); err != nil {
 		t.Error(err)
 	}
+	// Targeted shapes for the single-literal fast paths: prefix (lit%),
+	// suffix (%lit), contains (%lit%), and exact (lit), with random
+	// literals over the same alphabet.
+	checkShaped := func() bool {
+		lit := gen(rng.Intn(6), strAlpha)
+		var pat string
+		switch rng.Intn(4) {
+		case 0:
+			pat = lit + "%"
+		case 1:
+			pat = "%" + lit
+		case 2:
+			pat = "%" + lit + "%"
+		default:
+			pat = lit
+		}
+		s := gen(rng.Intn(10), strAlpha)
+		got := CompileLike(pat).Match([]byte(s))
+		want := likeRef(pat, s)
+		if got != want {
+			t.Logf("LIKE %q on %q: got %v, want %v", pat, s, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(checkShaped, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestStrHash(t *testing.T) {

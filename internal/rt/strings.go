@@ -15,6 +15,8 @@ type LikePattern struct {
 	// fast paths
 	exact    string // no wildcards at all
 	contains string // single %s% segment without '_'
+	prefix   string // single anchored s% segment without '_'
+	suffix   string // single %s anchored segment without '_'
 }
 
 type segment struct {
@@ -48,8 +50,15 @@ func CompileLike(pattern string) *LikePattern {
 	}
 	if !strings.ContainsAny(pattern, "%_") {
 		p.exact = pattern
-	} else if p.leadingPct && p.trailingPct && len(p.segs) == 1 && p.segs[0].anyMask == nil {
-		p.contains = p.segs[0].text
+	} else if len(p.segs) == 1 && p.segs[0].anyMask == nil {
+		switch {
+		case p.leadingPct && p.trailingPct:
+			p.contains = p.segs[0].text
+		case p.trailingPct:
+			p.prefix = p.segs[0].text
+		case p.leadingPct:
+			p.suffix = p.segs[0].text
+		}
 	}
 	return p
 }
@@ -100,6 +109,12 @@ func (p *LikePattern) Match(s []byte) bool {
 	}
 	if p.contains != "" {
 		return strings.Contains(string(s), p.contains)
+	}
+	if p.prefix != "" {
+		return strings.HasPrefix(string(s), p.prefix)
+	}
+	if p.suffix != "" {
+		return strings.HasSuffix(string(s), p.suffix)
 	}
 	if len(p.segs) == 0 {
 		// "%", "%%", ...: any string; the empty pattern matches only "".

@@ -72,6 +72,7 @@ type Column struct {
 	heap []byte // string heap (String kind only)
 	rows int
 	zone *ZoneMap // per-block min/max statistics (zonemap.go)
+	dict *Dict    // order-preserving string dictionary (dict.go)
 }
 
 // NewColumn creates an empty column.

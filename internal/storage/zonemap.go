@@ -9,15 +9,21 @@ import "math"
 const DefaultZoneBlockRows = 65536
 
 // ZoneMap holds small materialized aggregates — per-block min/max — over a
-// fixed-width column (Int64, Decimal, Date, Float64, Char). The engine
+// fixed-width column (Int64, Decimal, Date, Float64, Char) or over the
+// dictionary codes of a dictionary-encoded String column. The engine
 // consults it to skip morsels whose block statistics prove that a scan's
-// sargable predicate rejects every contained row; String columns carry no
-// zone map.
+// sargable predicate rejects every contained row; String columns without
+// a fresh dictionary carry no zone map.
 //
 // Integer-representable kinds (Int64, Decimal, Date, Char) populate
 // MinI/MaxI with the raw stored values (Decimal: scaled integers, Date:
 // day numbers, Char: the byte value zero-extended — exactly the value the
-// generated comparison code sees). Float64 columns populate MinF/MaxF,
+// generated comparison code sees). String columns with a dictionary
+// populate MinI/MaxI with per-block min/max codes: codes preserve the
+// string order, so the same integer block test applies to the code
+// thresholds the code generator derives from the dictionary (the build is
+// deterministic, so codegen-time and build-time codes agree whenever both
+// the map and the dictionary are fresh). Float64 columns populate MinF/MaxF,
 // ignoring NaNs: a NaN row can never satisfy a comparison predicate, so
 // excluding it from the statistics keeps pruning conservative. An
 // all-NaN block gets the empty range [+Inf, -Inf], which no predicate
@@ -43,13 +49,18 @@ func (zm *ZoneMap) Blocks() int {
 }
 
 // BuildZoneMap computes per-block min/max statistics with the given block
-// size (<= 0 selects DefaultZoneBlockRows). String columns have no
-// orderable fixed-width representation; building on one clears any stale
-// map and records nothing.
+// size (<= 0 selects DefaultZoneBlockRows). A String column is covered
+// through its dictionary codes when a fresh dictionary exists (build
+// dictionaries before zone maps); without one it has no orderable
+// fixed-width representation, so building clears any stale map and
+// records nothing.
 func (c *Column) BuildZoneMap(blockRows int) {
 	c.zone = nil
+	var dict *Dict
 	if c.Kind == String {
-		return
+		if dict = c.Dict(); dict == nil {
+			return
+		}
 	}
 	if blockRows <= 0 {
 		blockRows = DefaultZoneBlockRows
@@ -90,9 +101,12 @@ func (c *Column) BuildZoneMap(blockRows int) {
 			}
 			for i := b * blockRows; i < end; i++ {
 				var v int64
-				if c.Kind == Char {
+				switch {
+				case dict != nil:
+					v = int64(dict.CodeAt(i))
+				case c.Kind == Char:
 					v = int64(c.CharAt(i))
-				} else {
+				default:
 					v = c.Int64At(i)
 				}
 				if v < lo {

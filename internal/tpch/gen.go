@@ -109,9 +109,11 @@ func Gen(sf float64) *storage.Catalog {
 	orders, lineitem := genOrders(rng, nOrd, nCust, nPart, nSupp)
 	cat.Add(orders)
 	cat.Add(lineitem)
-	// Zone maps are part of load: per-block min/max over every fixed-width
-	// column. Orders are generated in date order, so the date columns of
+	// Dictionaries and zone maps are part of load. Order matters: string
+	// zone maps are built over dictionary codes, so dictionaries come
+	// first. Orders are generated in date order, so the date columns of
 	// orders/lineitem are clustered and their maps actually prune.
+	cat.BuildDicts()
 	cat.BuildZoneMaps(storage.DefaultZoneBlockRows)
 	return cat
 }

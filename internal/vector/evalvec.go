@@ -3,6 +3,7 @@ package vector
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"aqe/internal/expr"
 	"aqe/internal/rt"
@@ -305,17 +306,11 @@ func vecCmp(x *expr.Cmp, b *batch) []expr.Datum {
 	r := evalVec(x.R, b)
 	lt, rtt := x.L.Type(), x.R.Type()
 	out := make([]expr.Datum, b.n)
-	set := func(i int, cond bool) {
-		if cond {
-			out[i].I = 1
-		}
-	}
 	switch {
 	case lt.Kind == expr.KString:
-		for i := range out {
-			eq := l[i].S == r[i].S
-			set(i, (x.Op == expr.CmpEq) == eq)
-		}
+		cmpLoop(out, x.Op, func(i int) int {
+			return strings.Compare(l[i].S, r[i].S)
+		})
 	case lt.Kind == expr.KFloat || rtt.Kind == expr.KFloat:
 		lf, rf := toFVec(l, lt), toFVec(r, rtt)
 		cmpLoop(out, x.Op, func(i int) int {

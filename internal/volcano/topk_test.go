@@ -1,0 +1,56 @@
+package volcano
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+)
+
+// TestTopKMatchesFullSort: for random inputs dense with duplicate keys,
+// TopK must return exactly the prefix of the stable full sort — same rows,
+// same order, ties resolved by input position — for every k.
+func TestTopKMatchesFullSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	keys := []plan.SortKey{
+		{E: expr.Col(0, expr.TInt)},
+		{E: expr.Col(1, expr.TString), Desc: true},
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(200)
+		rows := make([][]expr.Datum, n)
+		for i := range rows {
+			// Few distinct key values → many ties; the third column tags
+			// the original position so stability violations are visible.
+			rows[i] = []expr.Datum{
+				{I: int64(rng.Intn(4))},
+				{S: string(rune('a' + rng.Intn(3)))},
+				{I: int64(i)},
+			}
+		}
+		want := append([][]expr.Datum(nil), rows...)
+		SortRows(want, keys)
+		for _, k := range []int{0, 1, 2, n / 2, n - 1, n, n + 7} {
+			if k < 0 {
+				continue
+			}
+			in := append([][]expr.Datum(nil), rows...)
+			got := TopK(in, keys, k)
+			stop := k
+			if stop > n {
+				stop = n
+			}
+			if len(got) != stop {
+				t.Fatalf("trial %d k=%d: %d rows, want %d", trial, k, len(got), stop)
+			}
+			for i := range got {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("trial %d k=%d: row %d = %v, want %v (stable sort prefix)",
+						trial, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

@@ -388,10 +388,14 @@ func (o *orderIter) open() {
 		}
 		o.rows = append(o.rows, row)
 	}
-	SortRows(o.rows, o.o.Keys)
-	if o.o.Limit >= 0 && len(o.rows) > o.o.Limit {
-		o.rows = o.rows[:o.o.Limit]
+	if o.o.Limit >= 0 {
+		o.rows = TopK(o.rows, o.o.Keys, o.o.Limit)
+		if len(o.rows) > o.o.Limit {
+			o.rows = o.rows[:o.o.Limit]
+		}
+		return
 	}
+	SortRows(o.rows, o.o.Keys)
 }
 
 func (o *orderIter) next() ([]expr.Datum, bool) {
@@ -407,19 +411,25 @@ func (o *orderIter) next() ([]expr.Datum, bool) {
 // engine, which sorts materialized results the same way).
 func SortRows(rows [][]expr.Datum, keys []plan.SortKey) {
 	sort.SliceStable(rows, func(i, j int) bool {
-		for _, k := range keys {
-			a := expr.Eval(k.E, rows[i])
-			b := expr.Eval(k.E, rows[j])
-			c := compareDatum(a, b, k.E.Type())
-			if c != 0 {
-				if k.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-		}
-		return false
+		return cmpRows(rows[i], rows[j], keys) < 0
 	})
+}
+
+// cmpRows compares two decoded rows by the sort keys (Desc keys
+// reversed), returning -1/0/1.
+func cmpRows(a, b []expr.Datum, keys []plan.SortKey) int {
+	for _, k := range keys {
+		av := expr.Eval(k.E, a)
+		bv := expr.Eval(k.E, b)
+		c := compareDatum(av, bv, k.E.Type())
+		if c != 0 {
+			if k.Desc {
+				c = -c
+			}
+			return c
+		}
+	}
+	return 0
 }
 
 func compareDatum(a, b expr.Datum, t expr.Type) int {
