@@ -22,6 +22,7 @@
 package aqe
 
 import (
+	"context"
 	"fmt"
 
 	"aqe/internal/exec"
@@ -91,6 +92,13 @@ type Options struct {
 	// predicates, group hashing, and zone-map pruning run against the raw
 	// strings (results are bit-identical either way).
 	NoDict bool
+	// MaxConcurrent caps the number of queries executing at once; excess
+	// arrivals wait in a FIFO admission queue (Stats.Queued/WaitTime).
+	// Default 8.
+	MaxConcurrent int
+	// PoolWorkers sizes the shared worker pool all in-flight queries
+	// draw from (default GOMAXPROCS).
+	PoolWorkers int
 }
 
 // Result is a materialized query result (see exec.Result).
@@ -117,7 +125,8 @@ func Open(opts Options) *DB {
 		Cost: opts.Cost, Trace: opts.Trace, CacheBytes: cacheBytes,
 		SerialFinalize: opts.SerialFinalize, NoJoinFilter: opts.NoJoinFilter,
 		FilterStats: opts.FilterStats, NoZoneMaps: opts.NoZoneMaps,
-		NoDict: opts.NoDict}
+		NoDict: opts.NoDict, MaxConcurrent: opts.MaxConcurrent,
+		PoolWorkers: opts.PoolWorkers}
 	if eopts.Mode == 0 && opts.Cost == nil {
 		eopts.Mode = ModeAdaptive
 	}
@@ -151,19 +160,36 @@ func (db *DB) TPCHQuery(n int) plan.Query { return tpch.Query(db.cat, n) }
 // Exec runs a (possibly multi-stage) plan query.
 func (db *DB) Exec(q plan.Query) (*Result, error) { return db.eng.Run(q) }
 
+// ExecCtx runs a plan query under a context: a cancelled or expired
+// context stops the query at the next morsel boundary and returns an
+// error wrapping the cause, with Stats.Cancelled set on the result.
+func (db *DB) ExecCtx(ctx context.Context, q plan.Query) (*Result, error) {
+	return db.eng.RunCtx(ctx, q)
+}
+
 // ExecPlan runs a single plan.
 func (db *DB) ExecPlan(node plan.Node, name string) (*Result, error) {
 	return db.eng.RunPlan(node, name)
 }
 
+// ExecPlanCtx runs a single plan under a context (see ExecCtx).
+func (db *DB) ExecPlanCtx(ctx context.Context, node plan.Node, name string) (*Result, error) {
+	return db.eng.RunPlanCtx(ctx, node, name)
+}
+
 // ExecSQL parses, plans and runs a SQL query (the supported subset covers
 // single- and multi-table SELECT with WHERE, GROUP BY, ORDER BY, LIMIT).
 func (db *DB) ExecSQL(query string) (*Result, error) {
+	return db.ExecSQLCtx(context.Background(), query)
+}
+
+// ExecSQLCtx is ExecSQL under a context (see ExecCtx).
+func (db *DB) ExecSQLCtx(ctx context.Context, query string) (*Result, error) {
 	node, err := sql.Plan(query, db.cat)
 	if err != nil {
 		return nil, err
 	}
-	return db.eng.RunPlan(node, "sql")
+	return db.eng.RunPlanCtx(ctx, node, "sql")
 }
 
 // FormatRows renders result rows for display.

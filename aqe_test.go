@@ -1,6 +1,8 @@
 package aqe
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -61,6 +63,31 @@ func TestPublicAPIModes(t *testing.T) {
 		} else if res.Rows[0][0].I != want {
 			t.Errorf("%v: revenue %d, want %d", m, res.Rows[0][0].I, want)
 		}
+	}
+}
+
+func TestPublicAPIContext(t *testing.T) {
+	db := Open(Options{Workers: 1, PoolWorkers: 1, MaxConcurrent: 2})
+	db.LoadTPCH(0.003)
+
+	res, err := db.ExecSQLCtx(context.Background(),
+		`SELECT count(*) FROM lineitem`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cancelled || res.Stats.Queued {
+		t.Errorf("uncontended query reported cancelled=%v queued=%v",
+			res.Stats.Cancelled, res.Stats.Queued)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err = db.ExecCtx(ctx, db.TPCHQuery(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: err=%v, want context.Canceled", err)
+	}
+	if res == nil || !res.Stats.Cancelled {
+		t.Error("Stats.Cancelled not set on cancelled query")
 	}
 }
 

@@ -51,8 +51,36 @@ func main() {
 	fmt.Printf("TPC-H Q%d, SF %g, %s mode, %d workers\n\n", *qn, *sf, *mode, *wrk)
 	fmt.Print(merged.Gantt(110))
 
-	// Zone-map pruning ('Z' on the compile lane above).
+	// Admission-queue waits ('A' on the compile lane above).
 	first := true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvAdmit {
+			continue
+		}
+		if first {
+			fmt.Println("\nadmission queue:")
+			first = false
+		}
+		fmt.Printf("  %s: queued %.3f ms before execution\n",
+			ev.Label, (ev.End - ev.Start).Seconds()*1e3)
+	}
+
+	// Cancellations ('X' on the compile lane above).
+	first = true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvCancel {
+			continue
+		}
+		if first {
+			fmt.Println("\ncancellations:")
+			first = false
+		}
+		fmt.Printf("  %s: cancelled at %.3f ms\n",
+			ev.Label, ev.Start.Seconds()*1e3)
+	}
+
+	// Zone-map pruning ('Z' on the compile lane above).
+	first = true
 	for _, ev := range merged.Events() {
 		if ev.Kind != exec.EvPrune {
 			continue

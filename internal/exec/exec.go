@@ -9,13 +9,16 @@
 package exec
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"time"
 
 	"aqe/internal/codegen"
 	"aqe/internal/expr"
 	"aqe/internal/plan"
 	"aqe/internal/rt"
+	"aqe/internal/sched"
 	"aqe/internal/storage"
 	"aqe/internal/vm"
 	"aqe/internal/volcano"
@@ -41,8 +44,20 @@ func (m Mode) String() string {
 
 // Options configures an Engine.
 type Options struct {
-	// Workers is the number of worker threads (default 4).
+	// Workers is the maximum number of pool workers granted to one query
+	// at a time — its slot count and local-arena count (default 4). The
+	// engine no longer spawns this many goroutines per query; morsels run
+	// on the shared pool (PoolWorkers).
 	Workers int
+	// PoolWorkers sizes the engine's shared morsel-execution pool. Every
+	// in-flight query's morsels and breaker-finalize partitions are
+	// dispatched over these workers with morsel-granular round-robin
+	// fairness (default GOMAXPROCS).
+	PoolWorkers int
+	// MaxConcurrent caps concurrently admitted queries; arrivals beyond
+	// the cap wait in a FIFO admission queue and report the wait in
+	// Stats.WaitTime (default 8).
+	MaxConcurrent int
 	// Mode is the execution mode (default ModeAdaptive).
 	Mode Mode
 	// Cost is the compile-cost model (default Paper()).
@@ -93,8 +108,9 @@ type Options struct {
 type Engine struct {
 	opts  Options
 	reg   *rt.Registry
-	cache *planCache   // nil when CacheBytes == 0
-	pool  *compilePool // shared background compile service
+	cache *planCache       // nil when CacheBytes == 0
+	pool  *compilePool     // shared background compile service
+	sched *sched.Scheduler // admission gate + shared morsel worker pool
 
 	// morselHook, when set (tests only), runs after every dispatched
 	// morsel on the worker goroutine; the mode-switch stress test uses it
@@ -125,8 +141,16 @@ func New(opts Options) *Engine {
 	if opts.CompileWorkers <= 0 {
 		opts.CompileWorkers = 2
 	}
+	if opts.PoolWorkers <= 0 {
+		opts.PoolWorkers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxConcurrent <= 0 {
+		opts.MaxConcurrent = 8
+	}
 	e := &Engine{opts: opts, reg: rt.NewRegistry(),
-		pool: newCompilePool(opts.CompileWorkers)}
+		pool: newCompilePool(opts.CompileWorkers),
+		sched: sched.New(sched.Options{PoolWorkers: opts.PoolWorkers,
+			MaxQueries: opts.MaxConcurrent})}
 	if opts.CacheBytes > 0 {
 		e.cache = newPlanCache(opts.CacheBytes)
 	}
@@ -151,6 +175,10 @@ func (e *Engine) CacheStats() CacheStats {
 	return e.cache.stats()
 }
 
+// SchedStats snapshots the scheduler's admission counters: how many
+// queries were admitted, how many had to queue, and the accumulated wait.
+func (e *Engine) SchedStats() sched.Stats { return e.sched.AdmissionStats() }
+
 // Stats describes one executed stage (the last stage's stats are the
 // query's).
 type Stats struct {
@@ -160,7 +188,14 @@ type Stats struct {
 	Exec      time.Duration // queryStart + pipelines + result decode
 	Finalize  time.Duration // pipeline-breaker wall time (within Exec)
 	PruneTime time.Duration // zone-map mask construction (within Exec)
+	WaitTime  time.Duration // admission-queue wait before any work (within Total)
 	Total     time.Duration
+
+	// Queued reports that the query waited in the admission queue;
+	// Cancelled that it ended early through its context (the Result then
+	// carries stats only, no rows).
+	Queued    bool
+	Cancelled bool
 
 	Instrs       int // IR instructions in the module
 	Pipelines    int
@@ -270,13 +305,20 @@ func (r *Result) ToTable(name string) *storage.Table {
 // Run executes a multi-stage query: every stage materializes into a table
 // visible to later stages; the final stage's rows are the result.
 func (e *Engine) Run(q plan.Query) (*Result, error) {
+	return e.RunCtx(context.Background(), q)
+}
+
+// RunCtx is Run with per-query cancellation and deadline: ctx is checked
+// between stages and, inside each stage, at every morsel boundary and
+// finalize partition.
+func (e *Engine) RunCtx(ctx context.Context, q plan.Query) (*Result, error) {
 	prior := make(map[string]*storage.Table)
 	var last *Result
 	for i, st := range q.Stages {
 		node := st.Build(prior)
-		res, err := e.RunPlan(node, fmt.Sprintf("%s/%s", q.Name, st.Name))
+		res, err := e.RunPlanCtx(ctx, node, fmt.Sprintf("%s/%s", q.Name, st.Name))
 		if err != nil {
-			return nil, fmt.Errorf("%s stage %q: %w", q.Name, st.Name, err)
+			return res, fmt.Errorf("%s stage %q: %w", q.Name, st.Name, err)
 		}
 		if i < len(q.Stages)-1 {
 			prior[st.Name] = res.ToTable(st.Name)
@@ -288,7 +330,41 @@ func (e *Engine) Run(q plan.Query) (*Result, error) {
 
 // RunPlan code-generates and executes a single plan.
 func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
+	return e.RunPlanCtx(context.Background(), node, name)
+}
+
+// RunPlanCtx code-generates and executes a single plan under ctx. The
+// query first passes the engine's admission gate (FIFO, capped at
+// MaxConcurrent in-flight queries); its morsels then run on the shared
+// worker pool. Cancelling ctx — or hitting its deadline — stops the query
+// within one morsel per granted worker; the error wraps the context cause
+// and the returned Result carries the stats (Cancelled, WaitTime) but no
+// rows.
+func (e *Engine) RunPlanCtx(ctx context.Context, node plan.Node, name string) (*Result, error) {
 	t0 := time.Now()
+	if err := ctx.Err(); err != nil {
+		return &Result{Stats: Stats{Cancelled: true}},
+			fmt.Errorf("exec: query %q cancelled: %w", name, context.Cause(ctx))
+	}
+	var tr *Trace
+	if e.opts.Trace {
+		tr = NewTrace()
+	}
+	wait, queued, err := e.sched.Admit(ctx)
+	if err != nil {
+		st := Stats{WaitTime: wait, Queued: queued, Cancelled: true, Total: time.Since(t0)}
+		return &Result{Stats: st},
+			fmt.Errorf("exec: query %q cancelled while queued (waited %v): %w", name, wait, err)
+	}
+	defer e.sched.Release()
+	var st Stats
+	st.WaitTime, st.Queued = wait, queued
+	if tr != nil && queued {
+		tr.Add(Event{Kind: EvAdmit, Pipeline: -1, Worker: -1, Label: name,
+			Start: 0, End: tr.Since(time.Now())})
+	}
+
+	tCg := time.Now()
 	mem := rt.NewMemory()
 	cq, err := codegen.CompileOpts(node, mem, name, codegen.Options{
 		JoinFilter:  !e.opts.NoJoinFilter,
@@ -298,20 +374,38 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var st Stats
-	st.Codegen = time.Since(t0)
+	st.Codegen = time.Since(tCg)
 	st.Instrs = cq.Module.NumInstrs()
 	st.Pipelines = len(cq.Pipelines)
 	st.DictRewrites = cq.DictRewrites
 	st.DictHits = cq.DictHits
 
-	qr, err := e.newQueryRun(cq, mem, &st)
+	cancelled := func(cause error) (*Result, error) {
+		st.Cancelled = true
+		st.Total = time.Since(t0)
+		return &Result{Stats: st},
+			fmt.Errorf("exec: query %q cancelled: %w", name, cause)
+	}
+	qr, err := e.newQueryRun(ctx, cq, mem, &st, tr)
 	if err != nil {
+		if ctx.Err() != nil {
+			return cancelled(err)
+		}
 		return nil, err
+	}
+	// The cancellation watcher flips the query's atomic flag the moment
+	// ctx dies; every claim loop and finalize partition polls it, and
+	// stop() keeps the watcher from outliving the query.
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() { qr.cancel(context.Cause(ctx)) })
+		defer stop()
 	}
 	tExec := time.Now()
 	rows, err := qr.execute()
 	if err != nil {
+		if qr.cancelled.Load() {
+			return cancelled(err)
+		}
 		return nil, err
 	}
 	st.Exec = time.Since(tExec)

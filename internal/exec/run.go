@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -26,24 +27,57 @@ type queryRun struct {
 
 	handles    []*Handle
 	queryStart *vm.Program
-	ctxs       []*rt.Ctx // per worker
+	ctxs       []*rt.Ctx // per worker slot
 	coord      *rt.Ctx
 
 	trace *Trace
 
-	failMu sync.Mutex
-	failed error
+	// cancelled is the preemption flag every morsel claim and finalize
+	// partition checks: one cheap atomic load, so a cancel or deadline
+	// lands within one morsel of work per executor.
+	cancelled atomic.Bool
+
+	failMu    sync.Mutex
+	failed    error
+	cancelErr error
+}
+
+// cancel requests cooperative termination: workers stop claiming morsels,
+// finalize stops claiming partitions, and in-flight background compiles
+// abandon their slot. Idempotent; the first cause wins.
+func (qr *queryRun) cancel(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	qr.failMu.Lock()
+	if qr.cancelErr == nil {
+		qr.cancelErr = cause
+	}
+	qr.failMu.Unlock()
+	if qr.cancelled.CompareAndSwap(false, true) && qr.trace != nil {
+		now := qr.trace.Since(time.Now())
+		qr.trace.Add(Event{Kind: EvCancel, Pipeline: -1, Worker: -1,
+			Label: "query", Start: now, End: now})
+	}
+}
+
+// cancelCause returns the recorded cancellation cause.
+func (qr *queryRun) cancelCause() error {
+	qr.failMu.Lock()
+	defer qr.failMu.Unlock()
+	if qr.cancelErr != nil {
+		return qr.cancelErr
+	}
+	return context.Canceled
 }
 
 // newQueryRun binds externs, translates all worker functions to bytecode
 // (or adopts the cached translation on a fingerprint hit), performs
 // up-front compilation for the static modes, and builds the runtime state
-// the code generator's descriptors require.
-func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*queryRun, error) {
-	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st}
-	if e.opts.Trace {
-		qr.trace = NewTrace()
-	}
+// the code generator's descriptors require. The trace (nil unless tracing)
+// is created by the caller so its origin covers the admission wait.
+func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Memory, st *Stats, tr *Trace) (*queryRun, error) {
+	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st, trace: tr}
 	qr.fp = fingerprintOf(cq, e.opts.VM)
 	st.Fingerprint = qr.fp.Short()
 
@@ -122,7 +156,9 @@ func (e *Engine) newQueryRun(cq *codegen.Query, mem *rt.Memory, st *Stats) (*que
 		}
 		if e.opts.Cost.Simulate && compiledAny {
 			d := qr.modelCompileTime(hl, st.Instrs, maxFnInstrs(cq))
-			time.Sleep(d)
+			if !sleepCtx(ctx, d) {
+				return nil, context.Cause(ctx)
+			}
 		}
 		st.Compile = time.Since(tC)
 		if qr.trace != nil {
@@ -191,6 +227,43 @@ func (qr *queryRun) modelCompileTime(l Level, moduleInstrs, maxFn int) time.Dura
 	return m.UnoptBase + time.Duration(moduleInstrs)*m.UnoptPerInstr
 }
 
+// sleepCtx sleeps d unless ctx is cancelled first; it reports whether the
+// full duration elapsed. Simulated compile latencies can reach hundreds of
+// milliseconds, so a deadline must be able to interrupt them.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx == nil || ctx.Done() == nil {
+		time.Sleep(d)
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// sleepUnlessCancelled is the background-compile variant of sleepCtx: it
+// polls the query's cancellation flag so a cancelled query frees its
+// compile-pool slot within a few milliseconds.
+func (qr *queryRun) sleepUnlessCancelled(d time.Duration) bool {
+	const step = 2 * time.Millisecond
+	for d > 0 {
+		if qr.cancelled.Load() {
+			return false
+		}
+		s := d
+		if s > step {
+			s = step
+		}
+		time.Sleep(s)
+		d -= s
+	}
+	return !qr.cancelled.Load()
+}
+
 func maxFnInstrs(cq *codegen.Query) int {
 	max := 0
 	for _, f := range cq.Module.Funcs {
@@ -209,11 +282,14 @@ func (qr *queryRun) execute() ([][]expr.Datum, error) {
 		qr.queryStart.Run(qr.coord, args)
 	})
 	qr.coord.ResetRegs()
-	if err == nil {
-		qr.failMu.Lock()
+	// A recorded failure wins over the trap that unwound queryStart: the
+	// trap is only the unwind vehicle (worker traps re-panic themselves;
+	// cancellation unwinds with a TrapUser whose cause is in failed).
+	qr.failMu.Lock()
+	if qr.failed != nil {
 		err = qr.failed
-		qr.failMu.Unlock()
 	}
+	qr.failMu.Unlock()
 	if err != nil {
 		return nil, err
 	}
@@ -271,8 +347,14 @@ type progress struct {
 	pruned    []bool
 	blockRows int64
 
-	rates    []atomic.Uint64 // per worker: float64 bits, tuples/sec
+	rates    []atomic.Uint64 // per worker slot: float64 bits, tuples/sec
 	evalGate atomic.Bool
+
+	// executing counts pool workers currently inside a morsel of this
+	// pipeline — the query's *granted* parallelism. Under concurrent load
+	// a query holds only a fraction of the machine, so the controller's
+	// extrapolation must use this, not the configured worker count.
+	executing atomic.Int32
 }
 
 func newProgress(total int64, workers int, o Options) *progress {
@@ -408,28 +490,18 @@ func (qr *queryRun) runPipeline(id int) {
 			Worker: -1, Start: now, End: now, Tuples: int64(pl.DictRewrites)})
 	}
 	total := qr.sourceTotal(pl)
-	if total > 0 {
+	if total > 0 && !qr.cancelled.Load() {
 		pr := newProgress(total, qr.eng.opts.Workers, qr.eng.opts)
 		if len(pl.Prune) > 0 && !qr.eng.opts.NoZoneMaps {
 			qr.applyZoneMaps(pl, pr, total)
 		}
-		var wg sync.WaitGroup
-		for w := 0; w < qr.eng.opts.Workers; w++ {
-			wg.Add(1)
-			go qr.worker(w, pl, h, pr, &wg)
-		}
-		wg.Wait()
+		// The engine's shared pool executes the morsels; this coordinator
+		// blocks until the pipeline drains. Under concurrent load the pool
+		// interleaves this pipeline's morsels with every other in-flight
+		// query's at morsel granularity.
+		qr.eng.sched.Run(newPipelineJob(qr, pl, h, pr))
 	}
-	qr.failMu.Lock()
-	failed := qr.failed
-	qr.failMu.Unlock()
-	if failed != nil {
-		// Unwind the interpreted queryStart; execute() reports qr.failed.
-		if t, ok := failed.(*rt.Trap); ok {
-			panic(t)
-		}
-		panic(&rt.Trap{Code: rt.TrapUser})
-	}
+	qr.checkFailed()
 	// Finalize the sink between pipelines. By default the breaker work
 	// (join chain linking, aggregation merge) is hash-range partitioned
 	// across the worker pool; Options.SerialFinalize retains the
@@ -457,6 +529,27 @@ func (qr *queryRun) runPipeline(id int) {
 		d := qr.cq.Aggs[pl.SinkAgg]
 		qr.mem.Store64(qr.qs.StateAddr+rt.Addr(d.IndexStateOff), set.IndexAddr)
 		qr.noteFinalize(pl, time.Since(t0), t0, parts, int64(set.Groups))
+	}
+	// A cancel that landed during finalize left the breaker half-built;
+	// unwind before any later pipeline can read it.
+	qr.checkFailed()
+}
+
+// checkFailed unwinds the interpreted queryStart if the query failed or
+// was cancelled; execute() reports qr.failed as the query error.
+func (qr *queryRun) checkFailed() {
+	if qr.cancelled.Load() {
+		qr.fail(qr.cancelCause())
+	}
+	qr.failMu.Lock()
+	failed := qr.failed
+	qr.failMu.Unlock()
+	if failed != nil {
+		// Unwind the interpreted queryStart; execute() reports qr.failed.
+		if t, ok := failed.(*rt.Trap); ok {
+			panic(t)
+		}
+		panic(&rt.Trap{Code: rt.TrapUser})
 	}
 }
 
@@ -496,22 +589,28 @@ func (qr *queryRun) noteFinalize(pl *codegen.Pipeline, d time.Duration, t0 time.
 }
 
 // breakerParts returns the partition count for parallel finalization:
-// Options.Workers capped by the CPUs actually available. Every partition
-// re-scans all build arenas (that is what makes the writes disjoint), so
-// partitions beyond real parallelism are pure extra scan work.
+// Options.Workers capped by the CPUs actually available and the shared
+// pool. Every partition re-scans all build arenas (that is what makes the
+// writes disjoint), so partitions beyond real parallelism are pure extra
+// scan work.
 func (qr *queryRun) breakerParts() int {
 	parts := qr.eng.opts.Workers
 	if n := runtime.GOMAXPROCS(0); parts > n {
+		parts = n
+	}
+	if n := qr.eng.sched.PoolSize(); parts > n {
 		parts = n
 	}
 	return parts
 }
 
 // pfor is the rt.ParallelFor executor backing partitioned finalization: it
-// spreads fn(0..n-1) over up to Workers goroutines with an atomic claim
-// cursor. A Trap thrown by a task (aggregate Combine can overflow) is
-// caught on its goroutine and re-thrown on the caller, so breaker traps
-// surface exactly like serial-finalize traps.
+// spreads fn(0..n-1) over the engine's shared worker pool, one partition
+// per scheduler grant, so breaker finalization interleaves fairly with
+// other queries' morsels and observes cancellation between partitions. A
+// Trap thrown by a task (aggregate Combine can overflow) is caught on the
+// pool worker and re-thrown on the caller, so breaker traps surface
+// exactly like serial-finalize traps.
 func (qr *queryRun) pfor(n int, fn func(p int)) {
 	workers := qr.eng.opts.Workers
 	if workers > n {
@@ -519,40 +618,46 @@ func (qr *queryRun) pfor(n int, fn func(p int)) {
 	}
 	if workers <= 1 {
 		for p := 0; p < n; p++ {
+			if qr.cancelled.Load() {
+				return
+			}
 			fn(p)
 		}
 		return
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	var trapMu sync.Mutex
-	var trapped *rt.Trap
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			err := rt.CatchTrap(func() {
-				for {
-					p := int(next.Add(1) - 1)
-					if p >= n {
-						return
-					}
-					fn(p)
-				}
-			})
-			if err != nil {
-				trapMu.Lock()
-				if trapped == nil {
-					trapped = err.(*rt.Trap)
-				}
-				trapMu.Unlock()
-			}
-		}()
+	j := &pforJob{qr: qr, n: n, slots: workers, fn: fn}
+	qr.eng.sched.Run(j)
+	if t := j.trapped.Load(); t != nil {
+		panic(t)
 	}
-	wg.Wait()
-	if trapped != nil {
-		panic(trapped)
+}
+
+// pforJob adapts a partitioned finalization to the scheduler; each RunSlot
+// claims and runs one partition.
+type pforJob struct {
+	qr      *queryRun
+	n       int
+	slots   int
+	fn      func(p int)
+	next    atomic.Int64
+	trapped atomic.Pointer[rt.Trap]
+}
+
+func (j *pforJob) Slots() int { return j.slots }
+
+func (j *pforJob) RunSlot(int) bool {
+	if j.qr.cancelled.Load() || j.trapped.Load() != nil {
+		return false
 	}
+	p := int(j.next.Add(1) - 1)
+	if p >= j.n {
+		return false
+	}
+	if err := rt.CatchTrap(func() { j.fn(p) }); err != nil {
+		j.trapped.CompareAndSwap(nil, err.(*rt.Trap))
+		return false
+	}
+	return true
 }
 
 // sourceTotal returns the number of source tuples of a pipeline — always
@@ -564,43 +669,71 @@ func (qr *queryRun) sourceTotal(pl *codegen.Pipeline) int64 {
 	return int64(qr.qs.Aggs[pl.AggSource].Groups)
 }
 
-// worker is the morsel loop of one worker thread: claim, dispatch through
-// the handle, record progress, and — in adaptive mode — run the controller
-// after each morsel (Fig. 5's dispatch code).
-func (qr *queryRun) worker(w int, pl *codegen.Pipeline, h *Handle, pr *progress, wg *sync.WaitGroup) {
-	defer wg.Done()
-	ctx := qr.ctxs[w]
-	args := []uint64{qr.qs.StateAddr, qr.qs.Locals[w], 0, 0}
-	err := rt.CatchTrap(func() {
-		for {
-			begin, end, ok := pr.claim()
-			if !ok {
-				return
-			}
-			lvl := h.Level()
-			t0 := time.Now()
-			args[2], args[3] = uint64(begin), uint64(end)
-			h.Dispatch(ctx, args)
-			d := time.Since(t0)
-			pr.report(w, end-begin, d)
-			if qr.trace != nil {
-				qr.trace.Add(Event{Kind: EvMorsel, Pipeline: pl.ID, Label: pl.Label,
-					Worker: w, Level: lvl, Start: qr.trace.Since(t0),
-					End: qr.trace.Since(t0) + d, Tuples: end - begin})
-			}
-			if qr.eng.morselHook != nil {
-				qr.eng.morselHook(pl.ID, h, w)
-			}
-			if qr.eng.opts.Mode == ModeAdaptive {
-				qr.evaluate(pl, h, pr)
-			}
-		}
-	})
+// pipelineJob adapts one pipeline run to the scheduler: each RunSlot call
+// claims and executes exactly one morsel in an exclusively leased worker
+// slot (Fig. 5's dispatch code), records progress, and — in adaptive
+// mode — runs the controller. Returning after every morsel is what gives
+// the scheduler its morsel-granular fairness and cancellation.
+type pipelineJob struct {
+	qr   *queryRun
+	pl   *codegen.Pipeline
+	h    *Handle
+	pr   *progress
+	args [][]uint64 // per slot, reused across morsels
+}
+
+func newPipelineJob(qr *queryRun, pl *codegen.Pipeline, h *Handle, pr *progress) *pipelineJob {
+	j := &pipelineJob{qr: qr, pl: pl, h: h, pr: pr}
+	for w := 0; w < qr.eng.opts.Workers; w++ {
+		j.args = append(j.args, []uint64{qr.qs.StateAddr, qr.qs.Locals[w], 0, 0})
+	}
+	return j
+}
+
+// Slots grants the query at most Options.Workers concurrent executors —
+// its share of the pool, matching its per-slot local arenas.
+func (j *pipelineJob) Slots() int { return len(j.args) }
+
+// RunSlot executes one morsel. The preemption point is the cancellation
+// check before the claim: a cancel lands within one in-flight morsel per
+// executor, never mid-pipeline-scan.
+func (j *pipelineJob) RunSlot(slot int) bool {
+	qr := j.qr
+	if qr.cancelled.Load() {
+		return false
+	}
+	begin, end, ok := j.pr.claim()
+	if !ok {
+		return false
+	}
+	ctx := qr.ctxs[slot]
+	args := j.args[slot]
+	args[2], args[3] = uint64(begin), uint64(end)
+	lvl := j.h.Level()
+	j.pr.executing.Add(1)
+	t0 := time.Now()
+	err := rt.CatchTrap(func() { j.h.Dispatch(ctx, args) })
+	d := time.Since(t0)
+	j.pr.executing.Add(-1)
 	if err != nil {
 		ctx.ResetRegs()
 		qr.fail(err)
-		pr.abort()
+		j.pr.abort()
+		return false
 	}
+	j.pr.report(slot, end-begin, d)
+	if qr.trace != nil {
+		qr.trace.Add(Event{Kind: EvMorsel, Pipeline: j.pl.ID, Label: j.pl.Label,
+			Worker: slot, Level: lvl, Start: qr.trace.Since(t0),
+			End: qr.trace.Since(t0) + d, Tuples: end - begin})
+	}
+	if qr.eng.morselHook != nil {
+		qr.eng.morselHook(j.pl.ID, j.h, slot)
+	}
+	if qr.eng.opts.Mode == ModeAdaptive {
+		qr.evaluate(j.pl, j.h, j.pr)
+	}
+	return true
 }
 
 // evaluate implements Fig. 7: extrapolate the remaining pipeline duration
@@ -626,9 +759,16 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 	m := qr.eng.opts.Cost
 	// Remaining work excludes zone-map-pruned tuples: they are never
 	// dispatched, so extrapolating over them would overstate the payoff
-	// of compiling (§III-C).
+	// of compiling (§III-C). The parallelism term is the *granted* worker
+	// count — under concurrent load the scheduler may lease this query
+	// only a fraction of the machine, and extrapolating over workers it
+	// does not hold would understate every mode's remaining duration
+	// equally but overstate the compile thread's opportunity cost.
 	n := float64(pr.work - pr.done.Load())
-	w := float64(qr.eng.opts.Workers)
+	w := float64(pr.executing.Load())
+	if w < 1 {
+		w = 1
+	}
 	cur := h.Level()
 	curSpeed := m.Speedup(cur)
 
@@ -671,6 +811,10 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 // the modeled LLVM-scale latency, really compiles the function, installs
 // the variant, publishes it to the cache, and resets the rate samples.
 func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l Level) {
+	if qr.cancelled.Load() {
+		h.AbortCompile()
+		return
+	}
 	t0 := time.Now()
 	m := qr.eng.opts.Cost
 	if m.Simulate {
@@ -680,7 +824,10 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 		} else {
 			d = m.UnoptTime(h.Instrs)
 		}
-		time.Sleep(d)
+		if !qr.sleepUnlessCancelled(d) {
+			h.AbortCompile()
+			return
+		}
 	}
 	level := jit.Unoptimized
 	if l == LevelOptimized {

@@ -19,6 +19,8 @@ const (
 	EvFinalize // pipeline-breaker finalization (join link / agg merge)
 	EvPrune       // zone-map mask construction (Tuples/Parts = pruned tuples/blocks)
 	EvDictRewrite // dictionary-code rewrites baked into a pipeline (Tuples = rewrite count)
+	EvAdmit       // admission-queue wait (Start..End = queued interval)
+	EvCancel      // cancellation observed (instantaneous)
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -100,7 +102,7 @@ func (tr *Trace) Gantt(width int) string {
 			maxWorker = ev.Worker
 		}
 		switch ev.Kind {
-		case EvCompile, EvFinalize, EvPrune, EvDictRewrite:
+		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel:
 			hasCompile = true
 		}
 	}
@@ -145,6 +147,12 @@ func (tr *Trace) Gantt(width int) string {
 		case EvDictRewrite:
 			lane = maxWorker + 1
 			ch = 'D'
+		case EvAdmit:
+			lane = maxWorker + 1
+			ch = 'A'
+		case EvCancel:
+			lane = maxWorker + 1
+			ch = 'X'
 		case EvPhase:
 			ch = '='
 		}

@@ -1,0 +1,255 @@
+// Package sched is the engine-level query scheduler: it multiplexes every
+// in-flight query of an engine over one shared worker pool and gates query
+// admission behind a FIFO queue with a concurrency cap.
+//
+// The paper's executor assumes one query owning its morsel workers; a
+// production engine serving concurrent traffic cannot spawn opts.Workers
+// goroutines per query — N queries would oversubscribe the machine N-fold
+// and the Go scheduler, not the engine, would decide who runs. Instead the
+// pool holds at most PoolWorkers workers (sized to GOMAXPROCS), each of
+// which repeatedly picks the next runnable job round-robin, leases one of
+// the job's slots, executes exactly one unit of work (a morsel, or one
+// breaker-finalize partition), releases the slot, and re-picks. Fairness
+// is therefore morsel-granular: a short query never waits behind a long
+// scan for more than one morsel per worker.
+//
+// Workers are ephemeral, like the engine's compile pool: a Run spawns
+// workers while fewer than the cap are alive, and a worker exits when no
+// job has a runnable slot. An idle engine holds no goroutines and needs
+// no Close.
+package sched
+
+import (
+	"container/list"
+	"context"
+	"sync"
+	"time"
+)
+
+// Runner is one schedulable parallel phase — a pipeline's morsel loop or
+// a pipeline-breaker finalization. Slots bounds how many pool workers may
+// execute it at once (the per-query worker grant); RunSlot executes one
+// unit of work in the exclusively leased slot and reports false when the
+// phase has no more work (the call did nothing).
+type Runner interface {
+	Slots() int
+	RunSlot(slot int) bool
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// PoolWorkers caps concurrently executing pool workers.
+	PoolWorkers int
+	// MaxQueries caps concurrently admitted queries; arrivals beyond the
+	// cap wait in FIFO order.
+	MaxQueries int
+}
+
+// Stats is a snapshot of the admission counters.
+type Stats struct {
+	Admitted int64         // queries granted a ticket so far
+	Queued   int64         // of those, how many had to wait
+	WaitTime time.Duration // total time spent waiting for admission
+	Running  int           // tickets currently held
+	Waiting  int           // queries currently in the admission queue
+}
+
+// Scheduler is the shared worker pool plus the admission gate. One per
+// engine; safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	jobs    []*job // active jobs, picked round-robin
+	rr      int    // round-robin cursor into jobs
+	workers int    // live pool workers
+	poolMax int
+
+	amu      sync.Mutex
+	capacity int
+	running  int
+	waiters  *list.List // of chan struct{}, front = next admitted
+	admitted int64
+	queued   int64
+	waitNS   int64
+}
+
+// job tracks one Runner's pool state: free slot ids, active executors,
+// and the completion signal Run blocks on.
+type job struct {
+	r        Runner
+	free     []int // stack of free slot ids (top = next lease)
+	active   int
+	drained  bool
+	signaled bool
+	done     chan struct{}
+}
+
+// New creates a scheduler. PoolWorkers and MaxQueries must be >= 1.
+func New(o Options) *Scheduler {
+	if o.PoolWorkers < 1 {
+		o.PoolWorkers = 1
+	}
+	if o.MaxQueries < 1 {
+		o.MaxQueries = 1
+	}
+	return &Scheduler{poolMax: o.PoolWorkers, capacity: o.MaxQueries,
+		waiters: list.New()}
+}
+
+// PoolSize returns the worker-pool cap.
+func (s *Scheduler) PoolSize() int { return s.poolMax }
+
+// Admit blocks until the caller holds one of the MaxQueries execution
+// tickets (FIFO among waiters) or ctx is cancelled. It reports how long
+// the caller waited and whether it had to queue at all. On error the
+// caller holds no ticket and must not call Release.
+func (s *Scheduler) Admit(ctx context.Context) (wait time.Duration, queuedQ bool, err error) {
+	s.amu.Lock()
+	if s.running < s.capacity && s.waiters.Len() == 0 {
+		s.running++
+		s.admitted++
+		s.amu.Unlock()
+		return 0, false, nil
+	}
+	ch := make(chan struct{})
+	el := s.waiters.PushBack(ch)
+	s.queued++
+	s.amu.Unlock()
+	t0 := time.Now()
+	select {
+	case <-ch:
+		// Release handed us its ticket directly (running stays constant).
+	case <-ctx.Done():
+		s.amu.Lock()
+		select {
+		case <-ch:
+			// The grant raced the cancellation; keep the ticket. The
+			// caller's context is dead, so the query will cancel on its
+			// first preemption check and release the ticket normally.
+		default:
+			s.waiters.Remove(el)
+			wait = time.Since(t0)
+			s.waitNS += int64(wait)
+			s.amu.Unlock()
+			return wait, true, context.Cause(ctx)
+		}
+		s.amu.Unlock()
+	}
+	wait = time.Since(t0)
+	s.amu.Lock()
+	s.admitted++
+	s.waitNS += int64(wait)
+	s.amu.Unlock()
+	return wait, true, nil
+}
+
+// Release returns a ticket. If queries are waiting, the ticket passes to
+// the oldest waiter without touching the running count.
+func (s *Scheduler) Release() {
+	s.amu.Lock()
+	if front := s.waiters.Front(); front != nil {
+		s.waiters.Remove(front)
+		close(front.Value.(chan struct{}))
+	} else {
+		s.running--
+	}
+	s.amu.Unlock()
+}
+
+// AdmissionStats snapshots the admission counters.
+func (s *Scheduler) AdmissionStats() Stats {
+	s.amu.Lock()
+	defer s.amu.Unlock()
+	return Stats{Admitted: s.admitted, Queued: s.queued,
+		WaitTime: time.Duration(s.waitNS),
+		Running:  s.running, Waiting: s.waiters.Len()}
+}
+
+// Run schedules r over the pool and blocks until it is drained and every
+// executor has returned. Callers run on their own goroutine (a query's
+// coordinator); only r's slots execute on pool workers.
+func (s *Scheduler) Run(r Runner) {
+	n := r.Slots()
+	if n < 1 {
+		n = 1
+	}
+	j := &job{r: r, done: make(chan struct{})}
+	for i := n - 1; i >= 0; i-- {
+		j.free = append(j.free, i) // top of stack = slot 0
+	}
+	s.mu.Lock()
+	s.jobs = append(s.jobs, j)
+	spawn := s.poolMax - s.workers
+	if spawn > n {
+		spawn = n
+	}
+	s.workers += spawn
+	s.mu.Unlock()
+	for i := 0; i < spawn; i++ {
+		go s.worker()
+	}
+	<-j.done
+}
+
+// worker is the pool loop: pick the next runnable job round-robin, run one
+// unit, release the slot, repeat; exit when nothing anywhere is runnable.
+func (s *Scheduler) worker() {
+	s.mu.Lock()
+	for {
+		j, slot := s.pickLocked()
+		if j == nil {
+			s.workers--
+			s.mu.Unlock()
+			return
+		}
+		s.mu.Unlock()
+		more := j.r.RunSlot(slot)
+		s.mu.Lock()
+		j.free = append(j.free, slot)
+		j.active--
+		if !more && !j.drained {
+			j.drained = true
+			s.removeLocked(j)
+		}
+		if j.drained && j.active == 0 && !j.signaled {
+			j.signaled = true
+			close(j.done)
+		}
+	}
+}
+
+// pickLocked leases a slot from the next runnable job after the
+// round-robin cursor, or returns nil when no job can use a worker.
+func (s *Scheduler) pickLocked() (*job, int) {
+	n := len(s.jobs)
+	for i := 0; i < n; i++ {
+		j := s.jobs[(s.rr+i)%n]
+		if j.drained || len(j.free) == 0 {
+			continue
+		}
+		s.rr = (s.rr + i + 1) % n
+		slot := j.free[len(j.free)-1]
+		j.free = j.free[:len(j.free)-1]
+		j.active++
+		return j, slot
+	}
+	return nil, 0
+}
+
+// removeLocked drops a drained job from the pick list, keeping the
+// round-robin cursor stable relative to the remaining jobs.
+func (s *Scheduler) removeLocked(j *job) {
+	for i, x := range s.jobs {
+		if x == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			if s.rr > i {
+				s.rr--
+			}
+			break
+		}
+	}
+	if len(s.jobs) == 0 {
+		s.rr = 0
+	} else {
+		s.rr %= len(s.jobs)
+	}
+}
