@@ -5,20 +5,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 
 	"aqe/internal/exec"
+	"aqe/internal/opt"
 	"aqe/internal/storage"
+	"aqe/internal/synth"
 	"aqe/internal/tpch"
 )
 
 var (
-	qn   = flag.Int("q", 11, "TPC-H query number (1-22)")
-	sf   = flag.Float64("sf", 0.1, "scale factor")
-	mode = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|adaptive")
-	wrk  = flag.Int("workers", 4, "worker threads")
+	qn     = flag.Int("q", 11, "TPC-H query number (1-22); 0 with -opt traces the synthetic misestimated star query")
+	sf     = flag.Float64("sf", 0.1, "scale factor")
+	mode   = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|adaptive")
+	wrk    = flag.Int("workers", 4, "worker threads")
+	useOpt = flag.Bool("opt", false, "run the cost-based join order with adaptive replanning (queries with a logical form: 3, 5, 10)")
+	thresh = flag.Float64("replanthresh", 0, "misestimate factor that triggers a mid-query replan (0 = engine default; <=1 forces a replan check at every breaker)")
 )
 
 func main() {
@@ -29,26 +34,59 @@ func main() {
 	}[*mode]
 	cat := tpch.Gen(*sf)
 	eng := exec.New(exec.Options{Workers: *wrk, Mode: m, Cost: exec.Paper(),
-		Trace: true, MorselSize: 1024})
-	q := tpch.Query(cat, *qn)
-	prior := map[string]*storage.Table{}
+		Trace: true, MorselSize: 1024, ReplanThreshold: *thresh})
 	var merged *exec.Trace
-	for i, stg := range q.Stages {
-		node := stg.Build(prior)
-		res, err := eng.RunPlan(node, stg.Name)
+	if *useOpt {
+		var lg *opt.Logical
+		if *qn == 0 {
+			// The synthetic misestimated star query: the one workload
+			// guaranteed to show an 'R' (mid-query replan) on the trace.
+			factRows := int(1.6e7 * *sf)
+			if factRows < 20000 {
+				factRows = 20000
+			}
+			lg = synth.MisestimateLogical(synth.MisestimateTables(factRows))
+		} else {
+			var ok bool
+			lg, ok = tpch.Logical(cat, *qn)
+			if !ok {
+				log.Fatalf("Q%d has no logical join-graph form (try 3, 5, 10, or 0 for the synthetic misestimate query)", *qn)
+			}
+		}
+		prep, err := opt.Order(lg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if i < len(q.Stages)-1 {
-			prior[stg.Name] = res.ToTable(stg.Name)
+		res, err := eng.RunPlanReplan(context.Background(), prep.Root, lg.Name, prep)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if merged == nil {
-			merged = res.Trace
-		} else {
-			merged.Merge(res.Trace)
+		merged = res.Trace
+		fmt.Printf("join order: %v (%d replan(s))\n", prep.OrderNames(), res.Stats.Replans)
+	} else {
+		q := tpch.Query(cat, *qn)
+		prior := map[string]*storage.Table{}
+		for i, stg := range q.Stages {
+			node := stg.Build(prior)
+			res, err := eng.RunPlan(node, stg.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if i < len(q.Stages)-1 {
+				prior[stg.Name] = res.ToTable(stg.Name)
+			}
+			if merged == nil {
+				merged = res.Trace
+			} else {
+				merged.Merge(res.Trace)
+			}
 		}
 	}
-	fmt.Printf("TPC-H Q%d, SF %g, %s mode, %d workers\n\n", *qn, *sf, *mode, *wrk)
+	if *useOpt && *qn == 0 {
+		fmt.Printf("synthetic misestimated star query, SF %g, %s mode, %d workers\n\n", *sf, *mode, *wrk)
+	} else {
+		fmt.Printf("TPC-H Q%d, SF %g, %s mode, %d workers\n\n", *qn, *sf, *mode, *wrk)
+	}
 	fmt.Print(merged.Gantt(110))
 
 	// Admission-queue waits ('A' on the compile lane above).
@@ -105,6 +143,20 @@ func main() {
 		}
 		fmt.Printf("  pipeline %d (%s): %d string op(s) compiled against codes\n",
 			ev.Pipeline, ev.Label, ev.Tuples)
+	}
+
+	// Mid-query replans ('R' on the compile lane above).
+	first = true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvReplan {
+			continue
+		}
+		if first {
+			fmt.Println("\nmid-query replans:")
+			first = false
+		}
+		fmt.Printf("  pipeline %d (%s): observed %d build tuples at the breaker — replanned at %.3f ms\n",
+			ev.Pipeline, ev.Label, ev.Tuples, ev.Start.Seconds()*1e3)
 	}
 
 	// Pipeline-breaker finalizations ('F' on the compile lane above).

@@ -67,6 +67,11 @@ type Pipeline struct {
 	SinkAgg  int
 	SinkOut  int
 
+	// BuildOf is the join whose hash table this pipeline builds (set iff
+	// SinkJoin >= 0). The engine reads its cardinality estimate at
+	// finalize to decide whether the plan deserves reoptimization.
+	BuildOf *plan.Join
+
 	// Prune holds the sargable conjuncts of a scan pipeline's filter for
 	// zone-map block skipping (empty when the source has no usable
 	// conjuncts). The generated kernel retains the full predicate; the

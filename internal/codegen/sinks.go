@@ -13,7 +13,10 @@ type buildSink struct {
 	desc *joinMeta
 }
 
-func (s *buildSink) annotate(pl *Pipeline) { pl.SinkJoin = s.desc.id }
+func (s *buildSink) annotate(pl *Pipeline) {
+	pl.SinkJoin = s.desc.id
+	pl.BuildOf = s.join
+}
 
 func (s *buildSink) emit(p *pgen, res resolver) {
 	b := p.b

@@ -102,6 +102,17 @@ type Options struct {
 	// generated probes and reports them in Stats. Off by default: the
 	// counters cost two extra memory operations per probe.
 	FilterStats bool
+	// ReplanThreshold is the misestimate factor max(est/obs, obs/est) of
+	// an observed build-side cardinality past which a query running with
+	// a Replanner reoptimizes its join order mid-flight (default 8).
+	// Values <= 1 replan at every breaker whose order the corrected
+	// estimates change — the force-trigger mode of the invariance oracle.
+	ReplanThreshold float64
+	// MaxReplans caps how many times one query may restart on a revised
+	// plan (default 2): greedy ordering under exact observed
+	// cardinalities is deterministic, so the budget is a backstop, not
+	// the convergence argument.
+	MaxReplans int
 }
 
 // Engine executes plans.
@@ -204,6 +215,11 @@ type Stats struct {
 	RegFileBytes int     // largest bytecode register file
 	FusedOps     int     // macro-ops fused across pipelines (§IV-F)
 	Finalizes    int     // pipeline breakers finalized
+	// Replans counts mid-query restarts on a reoptimized join order;
+	// EstCardErr is the worst misestimate factor max(est/obs, obs/est)
+	// observed at any join-build breaker (0 = no estimated joins ran).
+	Replans    int
+	EstCardErr float64
 	FilterHits   int64   // probes whose Bloom filter passed (FilterStats)
 	FilterSkips  int64   // probes whose chain walk was skipped (FilterStats)
 
@@ -341,6 +357,15 @@ func (e *Engine) RunPlan(node plan.Node, name string) (*Result, error) {
 // and the returned Result carries the stats (Cancelled, WaitTime) but no
 // rows.
 func (e *Engine) RunPlanCtx(ctx context.Context, node plan.Node, name string) (*Result, error) {
+	return e.RunPlanReplan(ctx, node, name, nil)
+}
+
+// RunPlanReplan is RunPlanCtx with mid-query reoptimization: after every
+// join-build breaker the engine reports the observed cardinality to rp
+// and, past the misestimate threshold, restarts the query on the revised
+// plan rp returns (hash tables rebuilt from base tables; observations and
+// the admission slot kept). A nil rp runs the plan as given.
+func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string, rp Replanner) (*Result, error) {
 	t0 := time.Now()
 	if err := ctx.Err(); err != nil {
 		return &Result{Stats: Stats{Cancelled: true}},
@@ -363,22 +388,18 @@ func (e *Engine) RunPlanCtx(ctx context.Context, node plan.Node, name string) (*
 		tr.Add(Event{Kind: EvAdmit, Pipeline: -1, Worker: -1, Label: name,
 			Start: 0, End: tr.Since(time.Now())})
 	}
-
-	tCg := time.Now()
-	mem := rt.NewMemory()
-	cq, err := codegen.CompileOpts(node, mem, name, codegen.Options{
-		JoinFilter:  !e.opts.NoJoinFilter,
-		FilterStats: e.opts.FilterStats && !e.opts.NoJoinFilter,
-		NoDict:      e.opts.NoDict,
-	})
-	if err != nil {
-		return nil, err
+	var ro *reoptState
+	if rp != nil {
+		threshold := e.opts.ReplanThreshold
+		if threshold == 0 {
+			threshold = DefaultReplanThreshold
+		}
+		max := e.opts.MaxReplans
+		if max <= 0 {
+			max = DefaultMaxReplans
+		}
+		ro = &reoptState{rp: rp, threshold: threshold, remaining: max}
 	}
-	st.Codegen = time.Since(tCg)
-	st.Instrs = cq.Module.NumInstrs()
-	st.Pipelines = len(cq.Pipelines)
-	st.DictRewrites = cq.DictRewrites
-	st.DictHits = cq.DictHits
 
 	cancelled := func(cause error) (*Result, error) {
 		st.Cancelled = true
@@ -386,29 +407,67 @@ func (e *Engine) RunPlanCtx(ctx context.Context, node plan.Node, name string) (*
 		return &Result{Stats: st},
 			fmt.Errorf("exec: query %q cancelled: %w", name, cause)
 	}
-	qr, err := e.newQueryRun(ctx, cq, mem, &st, tr)
-	if err != nil {
-		if ctx.Err() != nil {
-			return cancelled(err)
+
+	// Each iteration is one execution attempt; a replanSignal from the
+	// breaker hook restarts the loop on the revised plan. Durations
+	// (Codegen/Translate/Exec/...) accumulate across attempts — they are
+	// real work this query performed; structural fields (Instrs,
+	// Pipelines, Fingerprint) describe the attempt that completed.
+	var qr *queryRun
+	var cq *codegen.Query
+	var mem *rt.Memory
+	var rows [][]expr.Datum
+	for {
+		if err := ctx.Err(); err != nil {
+			return cancelled(context.Cause(ctx))
 		}
-		return nil, err
-	}
-	// The cancellation watcher flips the query's atomic flag the moment
-	// ctx dies; every claim loop and finalize partition polls it, and
-	// stop() keeps the watcher from outliving the query.
-	if ctx.Done() != nil {
-		stop := context.AfterFunc(ctx, func() { qr.cancel(context.Cause(ctx)) })
-		defer stop()
-	}
-	tExec := time.Now()
-	rows, err := qr.execute()
-	if err != nil {
+		tCg := time.Now()
+		mem = rt.NewMemory()
+		cq, err = codegen.CompileOpts(node, mem, name, codegen.Options{
+			JoinFilter:  !e.opts.NoJoinFilter,
+			FilterStats: e.opts.FilterStats && !e.opts.NoJoinFilter,
+			NoDict:      e.opts.NoDict,
+		})
+		if err != nil {
+			return nil, err
+		}
+		st.Codegen += time.Since(tCg)
+		st.Instrs = cq.Module.NumInstrs()
+		st.Pipelines = len(cq.Pipelines)
+		st.DictRewrites = cq.DictRewrites
+		st.DictHits = cq.DictHits
+
+		qr, err = e.newQueryRun(ctx, cq, mem, &st, tr)
+		if err != nil {
+			if ctx.Err() != nil {
+				return cancelled(err)
+			}
+			return nil, err
+		}
+		qr.reopt = ro
+		// The cancellation watcher flips the query's atomic flag the
+		// moment ctx dies; every claim loop and finalize partition polls
+		// it, and stop() keeps the watcher from outliving the query.
+		if ctx.Done() != nil {
+			stop := context.AfterFunc(ctx, func() { qr.cancel(context.Cause(ctx)) })
+			defer stop()
+		}
+		tExec := time.Now()
+		rows, err = qr.execute()
+		st.Exec += time.Since(tExec)
+		if err == nil {
+			break
+		}
+		if rs, ok := err.(*replanSignal); ok {
+			st.Replans++
+			node = rs.node
+			continue
+		}
 		if qr.cancelled.Load() {
 			return cancelled(err)
 		}
 		return nil, err
 	}
-	st.Exec = time.Since(tExec)
 	for _, jd := range cq.Joins {
 		if jd.StatsLocalOff < 0 {
 			continue

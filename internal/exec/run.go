@@ -32,6 +32,10 @@ type queryRun struct {
 
 	trace *Trace
 
+	// reopt is the replan budget shared across restart attempts, nil
+	// when the query runs without a Replanner (replan.go).
+	reopt *reoptState
+
 	// cancelled is the preemption flag every morsel claim and finalize
 	// partition checks: one cheap atomic load, so a cancel or deadline
 	// lands within one morsel of work per executor.
@@ -120,7 +124,7 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		}
 		st.FusedOps += h.Prog.Fused
 	}
-	st.Translate = time.Since(tTr)
+	st.Translate += time.Since(tTr)
 
 	// Static compiled modes compile the whole module up-front,
 	// single-threaded, before execution starts (§II-A) — this is the
@@ -160,7 +164,7 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 				return nil, context.Cause(ctx)
 			}
 		}
-		st.Compile = time.Since(tC)
+		st.Compile += time.Since(tC)
 		if qr.trace != nil {
 			qr.trace.Add(Event{Kind: EvCompile, Pipeline: -1, Worker: -1,
 				Level: hl, Start: 0, End: qr.trace.Since(time.Now())})
@@ -516,6 +520,10 @@ func (qr *queryRun) runPipeline(id int) {
 			parts = ht.FinalizeParallel(qr.qs.StateAddr, qr.breakerParts(), qr.pfor)
 		}
 		qr.noteFinalize(pl, time.Since(t0), t0, parts, int64(ht.Count))
+		// The breaker is the natural observation point of adaptive join
+		// ordering: the build ran to completion, so its hash-table count
+		// is the relation's true filtered cardinality (replan.go).
+		qr.observeBuild(pl, int64(ht.Count))
 	}
 	if pl.SinkAgg >= 0 {
 		set := qr.qs.Aggs[pl.SinkAgg]

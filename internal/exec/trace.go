@@ -21,6 +21,7 @@ const (
 	EvDictRewrite // dictionary-code rewrites baked into a pipeline (Tuples = rewrite count)
 	EvAdmit       // admission-queue wait (Start..End = queued interval)
 	EvCancel      // cancellation observed (instantaneous)
+	EvReplan      // mid-query reoptimization at a breaker (Tuples = observed build card)
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -102,7 +103,7 @@ func (tr *Trace) Gantt(width int) string {
 			maxWorker = ev.Worker
 		}
 		switch ev.Kind {
-		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel:
+		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel, EvReplan:
 			hasCompile = true
 		}
 	}
@@ -153,6 +154,9 @@ func (tr *Trace) Gantt(width int) string {
 		case EvCancel:
 			lane = maxWorker + 1
 			ch = 'X'
+		case EvReplan:
+			lane = maxWorker + 1
+			ch = 'R'
 		case EvPhase:
 			ch = '='
 		}

@@ -1,0 +1,336 @@
+// Package opt is the cost-based join orderer: it consumes a *logical*
+// join graph — base relations with pushed-down filters plus equi-join
+// edges — and produces the physical left-deep plan.Node tree the engines
+// execute. Ordering is greedy selectivity-first enumeration (try every
+// start relation, repeatedly add the connected relation minimizing the
+// estimated intermediate cardinality), the shape that fits the engine's
+// statistics regime: zone maps give global min/max for free, dictionaries
+// give exact string NDV, and there is nothing else — no histograms, no
+// samples. When a filter is provably unsatisfiable (an impossible
+// conjunct against the zone-map range or a string literal absent from the
+// dictionary), the relation's cardinality is exactly zero and the orderer
+// early-exits: the empty relation is built first and every other scan is
+// short-circuited with a false filter.
+//
+// The orderer stays adaptive after planning (the paper's idea applied to
+// plans rather than tiers): Prepared implements the execution engine's
+// Replanner hook, so observed build-side cardinalities flow back in as
+// overrides and Replan re-runs the same greedy enumeration over the
+// corrected estimates mid-query.
+package opt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"aqe/internal/expr"
+	"aqe/internal/plan"
+	"aqe/internal/storage"
+)
+
+// Relation is one base input of a logical join graph: a table scan of the
+// named columns with an optional pushed-down filter. The filter is bound
+// against the scan's output schema (the Cols order). Column names must be
+// unique across the graph's relations — they name join payloads in the
+// physical plan.
+type Relation struct {
+	Name   string
+	Table  *storage.Table
+	Cols   []string
+	Filter expr.Expr // nil = none
+}
+
+// Edge is one equi-join predicate between two relations, by column name.
+// Multiple edges between the same pair — or edges closing a cycle — are
+// combined into one multi-key hash join when the second endpoint enters
+// the ordered prefix.
+type Edge struct {
+	L, R       int // relation indices
+	LCol, RCol string
+}
+
+// Logical is a logical query: the join graph plus a closure building the
+// rest of the plan (residual filters, aggregation, projection, ordering)
+// on top of the join output. Finish must resolve columns by name — the
+// join output schema's column order depends on the join order.
+type Logical struct {
+	Name   string
+	Graph  *Graph
+	Finish func(plan.Node) plan.Node // nil = identity
+}
+
+// Graph is a logical join graph.
+type Graph struct {
+	Rels  []Relation
+	Edges []Edge
+}
+
+// validate checks structural invariants shared by Order and RandomOrder.
+func (g *Graph) validate() error {
+	if len(g.Rels) == 0 {
+		return fmt.Errorf("opt: empty join graph")
+	}
+	seen := map[string]string{}
+	for _, r := range g.Rels {
+		if r.Table == nil {
+			return fmt.Errorf("opt: relation %q has no table", r.Name)
+		}
+		if len(r.Cols) == 0 {
+			return fmt.Errorf("opt: relation %q scans no columns", r.Name)
+		}
+		for _, c := range r.Cols {
+			if r.Table.Col(c) == nil {
+				return fmt.Errorf("opt: relation %q: table %s has no column %q",
+					r.Name, r.Table.Name, c)
+			}
+			if prev, dup := seen[c]; dup {
+				return fmt.Errorf("opt: column %q appears in relations %q and %q; "+
+					"graph columns must be uniquely named", c, prev, r.Name)
+			}
+			seen[c] = r.Name
+		}
+	}
+	for _, e := range g.Edges {
+		if e.L < 0 || e.L >= len(g.Rels) || e.R < 0 || e.R >= len(g.Rels) {
+			return fmt.Errorf("opt: edge references relation out of range")
+		}
+		if e.L == e.R {
+			return fmt.Errorf("opt: self-edge on relation %q", g.Rels[e.L].Name)
+		}
+		if !hasCol(g.Rels[e.L].Cols, e.LCol) || !hasCol(g.Rels[e.R].Cols, e.RCol) {
+			return fmt.Errorf("opt: edge %s.%s = %s.%s references unscanned column",
+				g.Rels[e.L].Name, e.LCol, g.Rels[e.R].Name, e.RCol)
+		}
+		lt := g.Rels[e.L].Table.MustCol(e.LCol)
+		rt := g.Rels[e.R].Table.MustCol(e.RCol)
+		if lt.Kind == storage.Float64 || rt.Kind == storage.Float64 ||
+			lt.Kind == storage.String || rt.Kind == storage.String {
+			return fmt.Errorf("opt: edge %s.%s = %s.%s: join keys must be integer-representable",
+				g.Rels[e.L].Name, e.LCol, g.Rels[e.R].Name, e.RCol)
+		}
+	}
+	// Connectivity: every relation must be reachable from relation 0, or
+	// some join would degenerate into a cross product.
+	if n := len(g.Rels); n > 1 {
+		reach := make([]bool, n)
+		reach[0] = true
+		for changed := true; changed; {
+			changed = false
+			for _, e := range g.Edges {
+				if reach[e.L] != reach[e.R] {
+					reach[e.L], reach[e.R] = true, true
+					changed = true
+				}
+			}
+		}
+		for i, ok := range reach {
+			if !ok {
+				return fmt.Errorf("opt: no join condition connects relation %q; "+
+					"cross joins are not supported", g.Rels[i].Name)
+			}
+		}
+	}
+	return nil
+}
+
+func hasCol(cols []string, c string) bool {
+	for _, x := range cols {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// Prepared is an ordered query: the chosen physical plan plus the
+// estimation state the adaptive replan protocol feeds back into. It
+// implements the execution engine's Replanner interface.
+type Prepared struct {
+	l *Logical
+
+	// Root is the current physical plan (joins under Finish's operators).
+	Root plan.Node
+	// JoinOrder lists relation indices in build order: JoinOrder[0] is
+	// the probe root (never built), each later relation is the build side
+	// of one hash join.
+	JoinOrder []int
+	// Empty reports that some relation's filter is provably
+	// unsatisfiable (impossible conjunct against zone maps / dictionary):
+	// the whole join result is empty, and every scan of the physical plan
+	// is short-circuited with a false filter.
+	Empty bool
+
+	est *estimator
+	// joinRel maps each join node of the current Root to the relation
+	// index it builds, so observations can be attributed.
+	joinRel map[*plan.Join]int
+}
+
+// Order runs the greedy enumeration and builds the physical plan.
+func Order(l *Logical) (*Prepared, error) {
+	g := l.Graph
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	p := &Prepared{l: l, est: newEstimator(g)}
+	p.reorder()
+	return p, nil
+}
+
+// reorder (re-)runs greedy enumeration under the estimator's current
+// cardinalities and rebuilds the physical plan.
+func (p *Prepared) reorder() {
+	order := p.est.bestOrder()
+	p.JoinOrder = order
+	p.Empty = p.est.empty()
+	p.buildPhysical()
+}
+
+// EstCard returns the estimated (or observed, once overridden) filtered
+// cardinality of relation i.
+func (p *Prepared) EstCard(i int) float64 { return p.est.card(i) }
+
+// EstJoinCard returns the estimated cardinality of the full join result
+// under the current order.
+func (p *Prepared) EstJoinCard() float64 {
+	_, inters := p.est.orderCost(p.JoinOrder)
+	if len(inters) == 0 {
+		return p.est.card(p.JoinOrder[0])
+	}
+	return inters[len(inters)-1]
+}
+
+// OrderNames renders the chosen order as relation names, probe root first.
+func (p *Prepared) OrderNames() []string {
+	out := make([]string, len(p.JoinOrder))
+	for i, r := range p.JoinOrder {
+		out[i] = p.l.Graph.Rels[r].Name
+	}
+	return out
+}
+
+// Observe feeds one observed build-side cardinality back into the
+// estimator (the engine calls this at every hash-table finalize). Joins
+// not produced by this Prepared — hand-built plans — are ignored.
+func (p *Prepared) Observe(j *plan.Join, observed int64) {
+	if rel, ok := p.joinRel[j]; ok {
+		p.est.override(rel, observed)
+	}
+}
+
+// Replan re-runs the greedy enumeration under the observed cardinalities.
+// It returns the new plan root and true when the order changed; when the
+// corrected estimates confirm the current order, it returns (nil, false)
+// and the running query proceeds unchanged.
+func (p *Prepared) Replan() (plan.Node, bool) {
+	old := append([]int(nil), p.JoinOrder...)
+	p.reorder()
+	same := len(old) == len(p.JoinOrder)
+	for i := range old {
+		if !same || old[i] != p.JoinOrder[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		return nil, false
+	}
+	return p.Root, true
+}
+
+// buildPhysical constructs the left-deep physical tree for the current
+// JoinOrder: the build side of every join is a single base-relation scan,
+// so the observed hash-table count at its breaker is exactly the true
+// filtered cardinality of one relation — the cleanest possible feedback
+// signal for Replan.
+func (p *Prepared) buildPhysical() {
+	g := p.l.Graph
+	order := p.JoinOrder
+	scan := func(rel int) *plan.Scan {
+		r := g.Rels[rel]
+		s := plan.NewScan(r.Table, r.Cols...)
+		if r.Filter != nil {
+			s.Where(r.Filter)
+		}
+		if p.Empty {
+			// The join result is provably empty: short-circuit every scan
+			// so no hash table is built and no morsel survives its filter.
+			s.Where(expr.Bool(false))
+		}
+		return s
+	}
+	p.joinRel = make(map[*plan.Join]int, len(order)-1)
+	var root plan.Node = scan(order[0])
+	inSet := map[int]bool{order[0]: true}
+	for _, rel := range order[1:] {
+		s := scan(rel)
+		var bk, pk []expr.Expr
+		for _, e := range g.Edges {
+			var setCol, relCol string
+			switch {
+			case inSet[e.L] && e.R == rel:
+				setCol, relCol = e.LCol, e.RCol
+			case inSet[e.R] && e.L == rel:
+				setCol, relCol = e.RCol, e.LCol
+			default:
+				continue
+			}
+			pk = append(pk, plan.C(root.Schema(), setCol))
+			bk = append(bk, plan.C(s.Schema(), relCol))
+		}
+		j := plan.NewJoin(plan.Inner, s, root, bk, pk, append([]string(nil), g.Rels[rel].Cols...))
+		j.Est = estInt(p.est.card(rel))
+		p.joinRel[j] = rel
+		root = j
+		inSet[rel] = true
+	}
+	if p.l.Finish != nil {
+		root = p.l.Finish(root)
+	}
+	p.Root = root
+}
+
+// estInt clamps a cardinality estimate into Join.Est's convention:
+// at least 1 (0 means "no estimate").
+func estInt(card float64) int64 {
+	v := int64(math.Round(card))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// RandomOrder builds the physical plan for a uniformly random *valid*
+// order (every prefix connected) drawn from the given source — the
+// join-order-invariance oracle runs these against the optimizer's choice.
+func RandomOrder(l *Logical, intn func(n int) int) (plan.Node, error) {
+	g := l.Graph
+	if err := g.validate(); err != nil {
+		return nil, err
+	}
+	n := len(g.Rels)
+	order := make([]int, 0, n)
+	inSet := make([]bool, n)
+	add := func(r int) { order = append(order, r); inSet[r] = true }
+	add(intn(n))
+	for len(order) < n {
+		var frontier []int
+		for r := 0; r < n; r++ {
+			if inSet[r] {
+				continue
+			}
+			for _, e := range g.Edges {
+				if (e.L == r && inSet[e.R]) || (e.R == r && inSet[e.L]) {
+					frontier = append(frontier, r)
+					break
+				}
+			}
+		}
+		sort.Ints(frontier)
+		add(frontier[intn(len(frontier))])
+	}
+	p := &Prepared{l: l, est: newEstimator(g), JoinOrder: order}
+	p.buildPhysical()
+	return p.Root, nil
+}

@@ -180,6 +180,11 @@ type Join struct {
 	Residual expr.Expr
 	// CountName names the OuterCount output column.
 	CountName string
+	// Est is the optimizer's estimated build-side cardinality (rows
+	// entering the hash table), or 0 when no estimate exists (hand-built
+	// plans). The engine compares it against the observed count at the
+	// build's pipeline-breaker finalize to detect misestimates.
+	Est int64
 
 	schema []ColDef
 }

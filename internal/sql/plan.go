@@ -5,24 +5,52 @@ import (
 	"strings"
 
 	"aqe/internal/expr"
+	"aqe/internal/opt"
 	"aqe/internal/plan"
 	"aqe/internal/storage"
 )
 
 // Plan parses and plans a SQL query against the catalog: it binds names,
 // pushes single-table predicates into the scans, extracts equi-join
-// conditions to build a left-deep hash-join tree in FROM order, applies
-// remaining predicates as residual filters, and lowers aggregation,
-// ordering and limits.
-func Plan(query string, cat *storage.Catalog) (node plan.Node, err error) {
+// conditions into a logical join graph whose order the cost-based
+// optimizer (internal/opt) chooses, applies remaining predicates as
+// residual filters, and lowers aggregation, ordering and limits.
+//
+// The FROM-clause order carries no semantics: earlier versions built the
+// left-deep tree in FROM order and failed whenever a table had no join
+// edge into the tables *listed before it*, even when the full predicate
+// graph was connected. The optimizer orders by connectivity instead, so
+// any FROM permutation of the same query plans (and a genuinely
+// disconnected graph still errors clearly).
+func Plan(query string, cat *storage.Catalog) (plan.Node, error) {
+	node, _, err := PlanOpt(query, cat)
+	return node, err
+}
+
+// bindFail carries a binder error out of the optimizer's Finish callback
+// (which cannot return one).
+type bindFail struct{ err error }
+
+// PlanOpt is Plan, additionally returning the optimizer state of
+// multi-table queries: the *opt.Prepared implements the execution
+// engine's Replanner, so callers may run the plan with mid-query
+// reoptimization. Single-table queries return a nil Prepared.
+func PlanOpt(query string, cat *storage.Catalog) (node plan.Node, prep *opt.Prepared, err error) {
 	// The expr and plan constructors treat type violations as programming
 	// errors and panic; here they are user errors (e.g. `date * string`),
-	// so convert their panics into planning errors at this boundary.
+	// so convert their panics into planning errors at this boundary. The
+	// same boundary catches binder errors thrown out of the optimizer's
+	// Finish callback.
 	defer func() {
 		if r := recover(); r != nil {
+			if bf, ok := r.(*bindFail); ok {
+				node, prep, err = nil, nil, bf.err
+				return
+			}
 			msg := fmt.Sprint(r)
-			if strings.HasPrefix(msg, "expr:") || strings.HasPrefix(msg, "plan:") {
-				node, err = nil, fmt.Errorf("sql: %s", msg)
+			if strings.HasPrefix(msg, "expr:") || strings.HasPrefix(msg, "plan:") ||
+				strings.HasPrefix(msg, "opt:") {
+				node, prep, err = nil, nil, fmt.Errorf("sql: %s", msg)
 				return
 			}
 			panic(r)
@@ -30,7 +58,7 @@ func Plan(query string, cat *storage.Catalog) (node plan.Node, err error) {
 	}()
 	a, err := parse(query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	b := &binder{cat: cat}
 	return b.plan(a)
@@ -46,11 +74,11 @@ type binder struct {
 	colIdx map[string]int
 }
 
-func (b *binder) plan(a *ast) (plan.Node, error) {
+func (b *binder) plan(a *ast) (plan.Node, *opt.Prepared, error) {
 	for _, name := range a.from {
 		t := b.cat.Table(name)
 		if t == nil {
-			return nil, fmt.Errorf("sql: unknown table %q", name)
+			return nil, nil, fmt.Errorf("sql: unknown table %q", name)
 		}
 		b.tables = append(b.tables, t)
 		b.needed = append(b.needed, map[string]bool{})
@@ -72,7 +100,7 @@ func (b *binder) plan(a *ast) (plan.Node, error) {
 		walk(g)
 	}
 	if walkErr != nil {
-		return nil, walkErr
+		return nil, nil, walkErr
 	}
 	// ORDER BY binds against the SELECT output (columns or aliases), so
 	// it contributes no additional scan columns.
@@ -135,47 +163,54 @@ func (b *binder) plan(a *ast) (plan.Node, error) {
 		for _, f := range fs {
 			e, err := b.bind(f, scans[i].Schema(), nil)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 			scans[i].Where(e)
 		}
 	}
 
-	// Left-deep joins in FROM order. Track the mapping from (table, col)
-	// to position in the current combined schema.
-	var root plan.Node = scans[0]
-	inPlan := map[int]bool{0: true}
-	for next := 1; next < len(b.tables); next++ {
-		var pk, bk []expr.Expr
-		for _, j := range joins {
-			var inT, newT int
-			var inC, newC string
-			switch {
-			case inPlan[j.lt] && j.rt == next:
-				inT, inC, newT, newC = j.lt, j.lc, j.rt, j.rc
-			case inPlan[j.rt] && j.lt == next:
-				inT, inC, newT, newC = j.rt, j.rc, j.lt, j.lc
-			default:
-				continue
-			}
-			_ = inT
-			_ = newT
-			pk = append(pk, plan.C(root.Schema(), inC))
-			bk = append(bk, plan.C(scans[next].Schema(), newC))
+	// Multi-table queries hand the scans and equi-join edges to the
+	// cost-based orderer as a logical join graph; the rest of the plan
+	// (residuals, aggregation, projection, ordering) is built by the
+	// Finish callback so a mid-query replan can re-derive the full plan
+	// over a differently-ordered join output schema.
+	if len(b.tables) > 1 {
+		rels := make([]opt.Relation, len(b.tables))
+		for i, t := range b.tables {
+			rels[i] = opt.Relation{Name: t.Name, Table: t,
+				Cols: scans[i].Cols, Filter: scans[i].Filter}
 		}
-		if len(pk) == 0 {
-			return nil, fmt.Errorf("sql: no join condition connects table %q; cross joins are not supported",
-				b.tables[next].Name)
+		edges := make([]opt.Edge, len(joins))
+		for i, j := range joins {
+			edges[i] = opt.Edge{L: j.lt, LCol: j.lc, R: j.rt, RCol: j.rc}
 		}
-		// Build on the new table, stream the accumulated plan; carry all
-		// of the new table's scanned columns as payload.
-		var payload []string
-		for _, c := range scans[next].Schema() {
-			payload = append(payload, c.Name)
+		lg := &opt.Logical{
+			Name:  "sql",
+			Graph: &opt.Graph{Rels: rels, Edges: edges},
+			Finish: func(join plan.Node) plan.Node {
+				n, err := b.finish(a, join, residual)
+				if err != nil {
+					panic(&bindFail{err})
+				}
+				return n
+			},
 		}
-		root = plan.NewJoin(plan.Inner, scans[next], root, bk, pk, payload)
-		inPlan[next] = true
+		prep, err := opt.Order(lg)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sql: %s", strings.TrimPrefix(err.Error(), "opt: "))
+		}
+		return prep.Root, prep, nil
 	}
+
+	node, err := b.finish(a, scans[0], residual)
+	return node, nil, err
+}
+
+// finish builds everything above the join tree: residual predicates,
+// aggregation or projection, and sort/limit. It binds by name against
+// root's schema, so it works for any join order the optimizer — or a
+// mid-query replan — picks.
+func (b *binder) finish(a *ast, root plan.Node, residual []node) (plan.Node, error) {
 	b.schema = root.Schema()
 	b.colIdx = map[string]int{}
 	for i, c := range b.schema {

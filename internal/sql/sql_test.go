@@ -118,6 +118,60 @@ func TestLikeInCaseYearSubstr(t *testing.T) {
 	}
 }
 
+// TestFromOrderIrrelevant is the regression test for the FROM-order
+// planning bug: the old planner built left-deep joins in FROM-clause
+// order and failed on "customer, lineitem, orders" — customer and
+// lineitem share no join edge, so it reported a cross join even though
+// the predicate graph is connected through orders. The optimizer orders
+// by connectivity, so every FROM permutation of this TPC-H Q3 variant
+// must plan and produce identical rows.
+func TestFromOrderIrrelevant(t *testing.T) {
+	const tmpl = `SELECT l_orderkey, o_orderdate, o_shippriority,
+		sum(l_extendedprice) AS revenue
+		FROM %s
+		WHERE c_mktsegment = 'BUILDING'
+		  AND c_custkey = o_custkey AND l_orderkey = o_orderkey
+		  AND o_orderdate < DATE '1995-03-15' AND l_shipdate > DATE '1995-03-15'
+		GROUP BY l_orderkey, o_orderdate, o_shippriority
+		ORDER BY revenue DESC, o_orderdate, l_orderkey LIMIT 10`
+	canon := func(rows [][]expr.Datum) string {
+		var sb strings.Builder
+		for _, r := range rows {
+			fmt.Fprintf(&sb, "%d|%d|%d|%d\n", r[0].I, r[1].I, r[2].I, r[3].I)
+		}
+		return sb.String()
+	}
+	var want string
+	froms := []string{
+		"customer, orders, lineitem",
+		"customer, lineitem, orders", // the order the old planner rejected
+		"lineitem, customer, orders",
+		"orders, lineitem, customer",
+	}
+	for i, from := range froms {
+		rows, _ := run(t, fmt.Sprintf(tmpl, from))
+		if len(rows) == 0 {
+			t.Fatalf("FROM %s: no rows", from)
+		}
+		got := canon(rows)
+		if i == 0 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("FROM %s: rows differ from first permutation:\n%s\nvs\n%s", from, got, want)
+		}
+	}
+	// PlanOpt exposes the optimizer state for multi-table queries.
+	_, prep, err := PlanOpt(fmt.Sprintf(tmpl, froms[1]), cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prep == nil || len(prep.JoinOrder) != 3 {
+		t.Fatalf("expected a 3-relation Prepared, got %+v", prep)
+	}
+}
+
 func TestParseErrors(t *testing.T) {
 	bad := []string{
 		"",

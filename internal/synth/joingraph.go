@@ -1,0 +1,127 @@
+// Join-graph workloads for the cost-based optimizer (internal/opt): small
+// relations with uniform join keys for property tests, and a deliberately
+// misestimated star schema that exercises mid-query replanning.
+package synth
+
+import (
+	"math/rand"
+
+	"aqe/internal/expr"
+	"aqe/internal/opt"
+	"aqe/internal/plan"
+	"aqe/internal/storage"
+)
+
+// GraphTable builds one relation of a random join-graph test: two join
+// columns uniform over [0, dom) (enough for star, chain, and cycle
+// shapes) and a value column. Uniform independent columns make the
+// optimizer's cardinality model exact up to sampling noise, so property
+// tests can bound the estimation error.
+func GraphTable(name string, rows, dom int, seed int64) *storage.Table {
+	rng := rand.New(rand.NewSource(seed))
+	j0 := storage.NewColumn(name+"_j0", storage.Int64)
+	j1 := storage.NewColumn(name+"_j1", storage.Int64)
+	v := storage.NewColumn(name+"_v", storage.Int64)
+	for i := 0; i < rows; i++ {
+		j0.AppendInt64(int64(rng.Intn(dom)))
+		j1.AppendInt64(int64(rng.Intn(dom)))
+		v.AppendInt64(int64(rng.Intn(1000)))
+	}
+	t := storage.NewTable(name, j0, j1, v)
+	t.BuildZoneMaps(storage.DefaultZoneBlockRows)
+	return t
+}
+
+// Misestimation workload constants. dimA's a_s column is 99% below
+// misestimateCut but its range spans misestimateSpan, so a uniform
+// estimator puts the filter's selectivity near cut/span ≈ 1e-4 when it is
+// really ≈ 0.99 — a ~10^4 underestimate that survives until dimA's hash
+// table is built.
+const (
+	misestimateCut  = 100
+	misestimateSpan = 1 << 20
+)
+
+// MisestimateTables builds a star schema whose statistics mislead the
+// optimizer: fact(f_j, f_b, f_v), a skewed dimension dimA(a_j, a_s) with
+// ~4 rows per join key (so a mis-ordered plan pays 4x fanout before the
+// selective join), and a genuinely selective dimension dimB(b_k, b_a)
+// whose uniform filter the estimator gets right. The optimizer therefore
+// joins dimA first; at dimA's build finalize the observed cardinality
+// exceeds the estimate by ~10^4 and the executor replans to dimB first.
+func MisestimateTables(factRows int) (fact, dimA, dimB *storage.Table) {
+	domA := factRows / 16
+	if domA < 4 {
+		domA = 4
+	}
+	domB := factRows / 8
+	if domB < 8 {
+		domB = 8
+	}
+	rng := rand.New(rand.NewSource(23))
+
+	fj := storage.NewColumn("f_j", storage.Int64)
+	fb := storage.NewColumn("f_b", storage.Int64)
+	fv := storage.NewColumn("f_v", storage.Int64)
+	for i := 0; i < factRows; i++ {
+		fj.AppendInt64(int64(rng.Intn(domA)))
+		fb.AppendInt64(int64(rng.Intn(domB)))
+		fv.AppendInt64(int64(rng.Intn(1000)))
+	}
+	fact = storage.NewTable("mfact", fj, fb, fv)
+	fact.BuildZoneMaps(storage.DefaultZoneBlockRows)
+
+	aj := storage.NewColumn("a_j", storage.Int64)
+	as := storage.NewColumn("a_s", storage.Int64)
+	for i := 0; i < 4*domA; i++ {
+		aj.AppendInt64(int64(i % domA)) // 4 duplicates per key
+		if rng.Intn(100) == 0 {
+			as.AppendInt64(int64(rng.Intn(misestimateSpan)))
+		} else {
+			as.AppendInt64(int64(rng.Intn(misestimateCut)))
+		}
+	}
+	dimA = storage.NewTable("mdima", aj, as)
+	dimA.BuildZoneMaps(storage.DefaultZoneBlockRows)
+
+	bk := storage.NewColumn("b_k", storage.Int64)
+	ba := storage.NewColumn("b_a", storage.Int64)
+	for i := 0; i < domB; i++ {
+		bk.AppendInt64(int64(i)) // unique key
+		ba.AppendInt64(int64(rng.Intn(1000)))
+	}
+	dimB = storage.NewTable("mdimb", bk, ba)
+	dimB.BuildZoneMaps(storage.DefaultZoneBlockRows)
+	return fact, dimA, dimB
+}
+
+// MisestimateLogical is the logical query over MisestimateTables: filter
+// both dimensions (a_s < cut misestimated ~10^4x low; b_a < 20 correctly
+// ~2%), join both into the fact table, and return the scalar sum of f_v
+// with a row count — order-invariant output by construction.
+func MisestimateLogical(fact, dimA, dimB *storage.Table) *opt.Logical {
+	fr := opt.Relation{Name: "mfact", Table: fact, Cols: []string{"f_j", "f_b", "f_v"}}
+	ar := opt.Relation{Name: "mdima", Table: dimA, Cols: []string{"a_j", "a_s"}}
+	asch := plan.NewScan(dimA, "a_j", "a_s").Schema()
+	ar.Filter = expr.Lt(plan.C(asch, "a_s"), expr.Int(misestimateCut))
+	br := opt.Relation{Name: "mdimb", Table: dimB, Cols: []string{"b_k", "b_a"}}
+	bsch := plan.NewScan(dimB, "b_k", "b_a").Schema()
+	br.Filter = expr.Lt(plan.C(bsch, "b_a"), expr.Int(20))
+	return &opt.Logical{
+		Name: "misestimate",
+		Graph: &opt.Graph{
+			Rels: []opt.Relation{fr, ar, br},
+			Edges: []opt.Edge{
+				{L: 0, LCol: "f_j", R: 1, RCol: "a_j"},
+				{L: 0, LCol: "f_b", R: 2, RCol: "b_k"},
+			},
+		},
+		Finish: func(j plan.Node) plan.Node {
+			js := j.Schema()
+			return plan.NewGroupBy(j, nil, nil, []plan.AggExpr{
+				{Func: plan.Sum, Arg: plan.C(js, "f_v"), Name: "sv"},
+				{Func: plan.CountStar, Name: "n"},
+			})
+		},
+	}
+}

@@ -1,0 +1,148 @@
+package tpch
+
+import (
+	"aqe/internal/expr"
+	"aqe/internal/opt"
+	"aqe/internal/plan"
+	"aqe/internal/storage"
+)
+
+// Logical returns the logical join-graph form of TPC-H query n, or false
+// when only the hand-built physical plan exists. Unlike Query, which fixes
+// a left-deep join order, the logical form states relations, filters, and
+// join predicates only; internal/opt picks the order. Finish closures
+// rebind aggregation and sort columns by name so they work for any join
+// order the optimizer (or a mid-query replan) produces.
+//
+// Semantic deltas from the hand plans, none of which change results:
+//   - Q3's customer semi join becomes an inner join (c_custkey is unique,
+//     so each order matches at most one customer).
+//   - Q5's supplier residual s_nationkey = c_nationkey becomes a proper
+//     cycle edge, making supplier's join a multi-key hash join.
+//   - Q10 groups on c_custkey instead of o_custkey (equal via the join),
+//     so the output column needs no rename.
+func Logical(cat *storage.Catalog, n int) (*opt.Logical, bool) {
+	switch n {
+	case 3:
+		return logicalQ3(cat), true
+	case 5:
+		return logicalQ5(cat), true
+	case 10:
+		return logicalQ10(cat), true
+	}
+	return nil, false
+}
+
+// rel builds a Relation plus a schema for constructing its filter: the
+// scan the optimizer will emit lists columns in exactly this order, so
+// column references bound against this schema resolve identically.
+func rel(cat *storage.Catalog, name string, cols ...string) (opt.Relation, []plan.ColDef) {
+	t := cat.Table(name)
+	return opt.Relation{Name: name, Table: t, Cols: cols},
+		plan.NewScan(t, cols...).Schema()
+}
+
+func logicalQ3(cat *storage.Catalog) *opt.Logical {
+	c, cs := rel(cat, "customer", "c_custkey", "c_mktsegment")
+	c.Filter = expr.Eq(col(cs, "c_mktsegment"), expr.Str("BUILDING"))
+	o, os := rel(cat, "orders", "o_orderkey", "o_custkey", "o_orderdate", "o_shippriority")
+	o.Filter = expr.Lt(col(os, "o_orderdate"), date("1995-03-15"))
+	l, ls := rel(cat, "lineitem", "l_orderkey", "l_extendedprice", "l_discount", "l_shipdate")
+	l.Filter = expr.Gt(col(ls, "l_shipdate"), date("1995-03-15"))
+	return &opt.Logical{
+		Name: "Q3",
+		Graph: &opt.Graph{
+			Rels: []opt.Relation{c, o, l},
+			Edges: []opt.Edge{
+				{L: 0, LCol: "c_custkey", R: 1, RCol: "o_custkey"},
+				{L: 1, LCol: "o_orderkey", R: 2, RCol: "l_orderkey"},
+			},
+		},
+		Finish: func(j plan.Node) plan.Node {
+			js := j.Schema()
+			g := plan.NewGroupBy(j,
+				[]expr.Expr{col(js, "l_orderkey"), col(js, "o_orderdate"), col(js, "o_shippriority")},
+				[]string{"l_orderkey", "o_orderdate", "o_shippriority"},
+				[]plan.AggExpr{{Func: plan.Sum, Arg: discPrice(js), Name: "revenue"}})
+			gs := g.Schema()
+			return plan.NewOrderBy(g, []plan.SortKey{
+				desc(col(gs, "revenue")), asc(col(gs, "o_orderdate")),
+				asc(col(gs, "l_orderkey"))}, 10)
+		},
+	}
+}
+
+func logicalQ5(cat *storage.Catalog) *opt.Logical {
+	r, rs := rel(cat, "region", "r_regionkey", "r_name")
+	r.Filter = expr.Eq(col(rs, "r_name"), expr.Str("ASIA"))
+	n, _ := rel(cat, "nation", "n_nationkey", "n_name", "n_regionkey")
+	c, _ := rel(cat, "customer", "c_custkey", "c_nationkey")
+	o, os := rel(cat, "orders", "o_orderkey", "o_custkey", "o_orderdate")
+	o.Filter = expr.And(
+		expr.Ge(col(os, "o_orderdate"), date("1994-01-01")),
+		expr.Lt(col(os, "o_orderdate"), date("1995-01-01")))
+	l, _ := rel(cat, "lineitem", "l_orderkey", "l_suppkey", "l_extendedprice", "l_discount")
+	s, _ := rel(cat, "supplier", "s_suppkey", "s_nationkey")
+	return &opt.Logical{
+		Name: "Q5",
+		Graph: &opt.Graph{
+			Rels: []opt.Relation{r, n, c, o, l, s},
+			Edges: []opt.Edge{
+				{L: 0, LCol: "r_regionkey", R: 1, RCol: "n_regionkey"},
+				{L: 1, LCol: "n_nationkey", R: 2, RCol: "c_nationkey"},
+				{L: 2, LCol: "c_custkey", R: 3, RCol: "o_custkey"},
+				{L: 3, LCol: "o_orderkey", R: 4, RCol: "l_orderkey"},
+				{L: 4, LCol: "l_suppkey", R: 5, RCol: "s_suppkey"},
+				// The "local supplier" condition: supplier and customer
+				// share a nation. A residual in the hand plan; here a
+				// cycle edge, so whichever join closes the cycle keys on
+				// both columns.
+				{L: 5, LCol: "s_nationkey", R: 2, RCol: "c_nationkey"},
+			},
+		},
+		Finish: func(j plan.Node) plan.Node {
+			js := j.Schema()
+			g := plan.NewGroupBy(j,
+				[]expr.Expr{col(js, "n_name")}, []string{"n_name"},
+				[]plan.AggExpr{{Func: plan.Sum, Arg: discPrice(js), Name: "revenue"}})
+			return plan.NewOrderBy(g, []plan.SortKey{desc(col(g.Schema(), "revenue"))}, -1)
+		},
+	}
+}
+
+func logicalQ10(cat *storage.Catalog) *opt.Logical {
+	n, _ := rel(cat, "nation", "n_nationkey", "n_name")
+	c, _ := rel(cat, "customer",
+		"c_custkey", "c_name", "c_acctbal", "c_phone", "c_nationkey",
+		"c_address", "c_comment")
+	o, os := rel(cat, "orders", "o_orderkey", "o_custkey", "o_orderdate")
+	o.Filter = expr.And(
+		expr.Ge(col(os, "o_orderdate"), date("1993-10-01")),
+		expr.Lt(col(os, "o_orderdate"), date("1994-01-01")))
+	l, ls := rel(cat, "lineitem", "l_orderkey", "l_returnflag", "l_extendedprice", "l_discount")
+	l.Filter = expr.Eq(col(ls, "l_returnflag"), expr.Ch('R'))
+	return &opt.Logical{
+		Name: "Q10",
+		Graph: &opt.Graph{
+			Rels: []opt.Relation{n, c, o, l},
+			Edges: []opt.Edge{
+				{L: 0, LCol: "n_nationkey", R: 1, RCol: "c_nationkey"},
+				{L: 1, LCol: "c_custkey", R: 2, RCol: "o_custkey"},
+				{L: 2, LCol: "o_orderkey", R: 3, RCol: "l_orderkey"},
+			},
+		},
+		Finish: func(j plan.Node) plan.Node {
+			js := j.Schema()
+			g := plan.NewGroupBy(j,
+				[]expr.Expr{col(js, "c_custkey"), col(js, "c_name"), col(js, "c_acctbal"),
+					col(js, "c_phone"), col(js, "n_name"), col(js, "c_address"),
+					col(js, "c_comment")},
+				[]string{"c_custkey", "c_name", "c_acctbal", "c_phone", "n_name",
+					"c_address", "c_comment"},
+				[]plan.AggExpr{{Func: plan.Sum, Arg: discPrice(js), Name: "revenue"}})
+			gs := g.Schema()
+			return plan.NewOrderBy(g, []plan.SortKey{
+				desc(col(gs, "revenue")), asc(col(gs, "c_custkey"))}, 20)
+		},
+	}
+}
