@@ -45,6 +45,10 @@ const (
 	ModeUnoptimized = exec.ModeUnoptimized
 	ModeOptimized   = exec.ModeOptimized
 	ModeAdaptive    = exec.ModeAdaptive
+	// ModeNative pre-assembles every pipeline to machine code via the
+	// copy-and-patch template JIT (tier 6), falling back per-pipeline to
+	// the optimized closure tier on platforms without a backend.
+	ModeNative = exec.ModeNative
 )
 
 // CostModel predicts compile times for the adaptive controller; see

@@ -26,7 +26,7 @@ import (
 
 var (
 	sf      = flag.Float64("sf", 0.01, "TPC-H scale factor")
-	mode    = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|adaptive")
+	mode    = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|native|adaptive")
 	wrk     = flag.Int("workers", 4, "per-query worker slots")
 	maxq    = flag.Int("maxq", 8, "max concurrently executing queries (admission cap)")
 	timeout = flag.Duration("timeout", 0, "per-statement deadline (0 = none)")
@@ -48,6 +48,7 @@ func main() {
 	m := map[string]aqe.Mode{
 		"bytecode": aqe.ModeBytecode, "unoptimized": aqe.ModeUnoptimized,
 		"optimized": aqe.ModeOptimized, "adaptive": aqe.ModeAdaptive,
+		"native": aqe.ModeNative,
 	}[*mode]
 	db := aqe.Open(aqe.Options{Workers: *wrk, Mode: m, MaxConcurrent: *maxq})
 	fmt.Printf("loading TPC-H at SF %g...\n", *sf)

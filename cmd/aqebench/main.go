@@ -6,7 +6,7 @@
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
 // Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
-// cache, breakers, zonemaps, dict, concurrency.
+// cache, breakers, zonemaps, dict, concurrency, joinorder, native.
 package main
 
 import (
@@ -43,7 +43,7 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|concurrency|joinorder|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|concurrency|joinorder|native|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
@@ -74,6 +74,7 @@ func main() {
 	run("dict", dict)
 	run("concurrency", concurrency)
 	run("joinorder", joinorder)
+	run("native", nativeExp)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

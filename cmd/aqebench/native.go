@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"aqe/internal/asm"
+	"aqe/internal/exec"
+	"aqe/internal/expr"
+	"aqe/internal/jit"
+	"aqe/internal/plan"
+	"aqe/internal/rt"
+	"aqe/internal/storage"
+	"aqe/internal/tpch"
+	"aqe/internal/vm"
+)
+
+// ---- native: the tier-6 template JIT vs the closure tiers and fused VM ----
+
+// hashWalkPlan builds the native tier's target regime: a join whose build
+// side carries duplicate keys (chains of ~8 tuples), so the probe pipeline
+// is dominated by the hash-probe chain walk with its Bloom pre-check —
+// tight pointer-chasing loops where per-op dispatch overhead is largest.
+func hashWalkPlan(sf float64) (plan.Node, int64) {
+	nBuild := int(sf * 2_000_000)
+	if nBuild < 100_000 {
+		nBuild = 100_000
+	}
+	nProbe := 2 * nBuild
+	bk := storage.NewColumn("k", storage.Int64)
+	bv := storage.NewColumn("v", storage.Int64)
+	for i := 0; i < nBuild; i++ {
+		bk.AppendInt64(int64(i % (nBuild / 8))) // ~8-tuple chains
+		bv.AppendInt64(int64(i))
+	}
+	bt := storage.NewTable("hwbuild", bk, bv)
+	pk := storage.NewColumn("p", storage.Int64)
+	for i := 0; i < nProbe; i++ {
+		// Half the probes miss: the Bloom pre-check prunes their chain walk.
+		pk.AppendInt64(int64(uint64(i) * 0x9E3779B97F4A7C15 % uint64(nBuild/4)))
+	}
+	pt := storage.NewTable("hwprobe", pk)
+	b := plan.NewScan(bt, "k", "v")
+	p := plan.NewScan(pt, "p")
+	j := plan.NewJoin(plan.Inner, b, p,
+		[]expr.Expr{plan.C(b.Schema(), "k")},
+		[]expr.Expr{plan.C(p.Schema(), "p")},
+		[]string{"v"})
+	jsch := j.Schema()
+	node := plan.NewGroupBy(j, nil, nil,
+		[]plan.AggExpr{
+			{Func: plan.Sum, Arg: plan.C(jsch, "v"), Name: "sv"},
+			{Func: plan.CountStar, Name: "n"},
+		})
+	return node, int64(nBuild + nProbe)
+}
+
+// nativeExp measures the copy-and-patch tier against every other tier on
+// the TPC-H trio (Q3/Q5/Q10: join-heavy pipelines) and the hash-walk
+// synthetic, as per-tier execution time / source-morsel rate, then the
+// real (unsimulated) compile latency of each backend per workload. The
+// target regime is the hash-walk pipeline: native machine code must beat
+// the fused bytecode VM there.
+func nativeExp() {
+	cat := catalog(*sfFlag)
+	const reps = 3
+	if !asm.Supported() {
+		fmt.Println("no native backend on this platform: ModeNative degrades to the optimized closure tier (fallback counters below)")
+	}
+
+	type workload struct {
+		name string
+		run  func(e *exec.Engine) (*exec.Result, error)
+		rows int64 // source tuples, for the morsel rate
+	}
+	var wls []workload
+	for _, qn := range []int{3, 5, 10} {
+		qn := qn
+		q := tpch.Query(cat, qn)
+		var rows int64
+		for _, tn := range []string{"lineitem", "orders", "customer", "supplier", "nation"} {
+			if t := cat.Table(tn); t != nil {
+				rows += int64(t.Rows())
+			}
+		}
+		wls = append(wls, workload{name: fmt.Sprintf("Q%d", qn),
+			run:  func(e *exec.Engine) (*exec.Result, error) { return e.Run(q) },
+			rows: rows})
+	}
+	hwNode, hwRows := hashWalkPlan(*sfFlag)
+	wls = append(wls, workload{name: "hashwalk",
+		run:  func(e *exec.Engine) (*exec.Result, error) { return e.RunPlan(hwNode, "hashwalk") },
+		rows: hwRows})
+
+	modes := []exec.Mode{exec.ModeBytecode, exec.ModeUnoptimized,
+		exec.ModeOptimized, exec.ModeNative}
+	fmt.Printf("per-tier execution at SF %.2f, %d workers (static modes, real costs, no cache, best of %d)\n",
+		*sfFlag, *workers, reps)
+	fmt.Printf("%-10s %10s %10s %10s %10s %9s %9s %7s\n",
+		"workload", "bc[ms]", "unopt[ms]", "opt[ms]", "native[ms]",
+		"nat/bc", "Mtup/s", "n.mors")
+	var hwNative, hwBytecode float64
+	for _, wl := range wls {
+		var cells []float64
+		var nat *exec.Result
+		for _, mode := range modes {
+			best := (*exec.Result)(nil)
+			for r := 0; r < reps; r++ {
+				e := exec.New(exec.Options{Workers: *workers, Mode: mode, Cost: exec.Native()})
+				res, err := wl.run(e)
+				if err != nil {
+					panic(fmt.Sprintf("%s %v: %v", wl.name, mode, err))
+				}
+				if best == nil || res.Stats.Exec < best.Stats.Exec {
+					best = res
+				}
+			}
+			cells = append(cells, ms(best.Stats.Exec))
+			if mode == exec.ModeNative {
+				nat = best
+			}
+		}
+		rate := float64(wl.rows) / (cells[3] / 1e3) / 1e6
+		fmt.Printf("%-10s %10.2f %10.2f %10.2f %10.2f %8.2fx %9.1f %7d\n",
+			wl.name, cells[0], cells[1], cells[2], cells[3],
+			cells[0]/cells[3], rate, nat.Stats.NativeMorsels)
+		if nat.Stats.NativeFallbacks > 0 {
+			fmt.Printf("%-10s (%d pipelines fell back to the optimized closure tier)\n",
+				"", nat.Stats.NativeFallbacks)
+		}
+		if wl.name == "hashwalk" {
+			hwNative, hwBytecode = cells[3], cells[0]
+		}
+	}
+
+	// Real per-backend compile latency, whole module, no latency model:
+	// the copy-and-patch claim is bytecode ≪ native ≪ unoptimized closure
+	// ≪ optimized closure.
+	fmt.Printf("\nreal compile latency per workload [ms] (whole module, no cost model)\n")
+	fmt.Printf("%-10s %8s %10s %10s %10s %10s\n",
+		"workload", "instrs", "bc", "native", "unopt", "opt")
+	latency := func(name string, node plan.Node) {
+		mem := rt.NewMemory()
+		cq := mustCompile(node, mem, name)
+		var bc, nat, unopt, opt time.Duration
+		natOK := asm.Supported()
+		for _, pl := range cq.Pipelines {
+			t0 := time.Now()
+			prog, err := vm.Translate(pl.Fn, vm.Options{})
+			if err != nil {
+				panic(err)
+			}
+			bc += time.Since(t0)
+			if natOK {
+				fn := pl.Fn.Clone() // Compile splits edges in place; clone outside the timer
+				t0 = time.Now()
+				if _, err := jit.Compile(fn, jit.Native, prog); err != nil {
+					natOK = false
+				} else {
+					nat += time.Since(t0)
+				}
+			}
+			t0 = time.Now()
+			if _, err := jit.Compile(pl.Fn, jit.Unoptimized, prog); err != nil {
+				panic(err)
+			}
+			unopt += time.Since(t0)
+			t0 = time.Now()
+			if _, err := jit.Compile(pl.Fn, jit.Optimized, prog); err != nil {
+				panic(err)
+			}
+			opt += time.Since(t0)
+		}
+		natMs := math.NaN()
+		if natOK {
+			natMs = ms(nat)
+		}
+		fmt.Printf("%-10s %8d %10.3f %10.3f %10.3f %10.3f\n",
+			name, cq.Module.NumInstrs(), ms(bc), natMs, ms(unopt), ms(opt))
+	}
+	for _, qn := range []int{3, 5, 10} {
+		latency(fmt.Sprintf("Q%d", qn), tpch.Query(cat, qn).Stages[0].Build(nil))
+	}
+	latency("hashwalk", hwNode)
+
+	if asm.Supported() {
+		verdict := "MET"
+		if hwNative > hwBytecode {
+			verdict = "MISSED"
+		}
+		fmt.Printf("\ntarget (native >= fused VM morsel rate on the hash-walk pipeline): %s (native %.2f ms vs bytecode %.2f ms)\n",
+			verdict, hwNative, hwBytecode)
+	}
+}

@@ -20,7 +20,7 @@ import (
 var (
 	qn     = flag.Int("q", 11, "TPC-H query number (1-22); 0 with -opt traces the synthetic misestimated star query")
 	sf     = flag.Float64("sf", 0.1, "scale factor")
-	mode   = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|adaptive")
+	mode   = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|native|adaptive")
 	wrk    = flag.Int("workers", 4, "worker threads")
 	useOpt = flag.Bool("opt", false, "run the cost-based join order with adaptive replanning (queries with a logical form: 3, 5, 10)")
 	thresh = flag.Float64("replanthresh", 0, "misestimate factor that triggers a mid-query replan (0 = engine default; <=1 forces a replan check at every breaker)")
@@ -31,6 +31,7 @@ func main() {
 	m := map[string]exec.Mode{
 		"bytecode": exec.ModeBytecode, "unoptimized": exec.ModeUnoptimized,
 		"optimized": exec.ModeOptimized, "adaptive": exec.ModeAdaptive,
+		"native": exec.ModeNative,
 	}[*mode]
 	cat := tpch.Gen(*sf)
 	eng := exec.New(exec.Options{Workers: *wrk, Mode: m, Cost: exec.Paper(),
@@ -100,7 +101,7 @@ func main() {
 			first = false
 		}
 		fmt.Printf("  %s: queued %.3f ms before execution\n",
-			ev.Label, (ev.End - ev.Start).Seconds()*1e3)
+			ev.Label, (ev.End-ev.Start).Seconds()*1e3)
 	}
 
 	// Cancellations ('X' on the compile lane above).
@@ -159,6 +160,24 @@ func main() {
 			ev.Pipeline, ev.Label, ev.Tuples, ev.Start.Seconds()*1e3)
 	}
 
+	// Native (tier-6) installs ('N' on the compile lane above).
+	first = true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvNative {
+			continue
+		}
+		if first {
+			fmt.Println("\nnative-code installs:")
+			first = false
+		}
+		scope := fmt.Sprintf("pipeline %d (%s)", ev.Pipeline, ev.Label)
+		if ev.Pipeline < 0 {
+			scope = "whole module (static mode)"
+		}
+		fmt.Printf("  %s: machine code assembled in %.3f ms\n",
+			scope, (ev.End-ev.Start).Seconds()*1e3)
+	}
+
 	// Pipeline-breaker finalizations ('F' on the compile lane above).
 	first = true
 	for _, ev := range merged.Events() {
@@ -170,6 +189,6 @@ func main() {
 			first = false
 		}
 		fmt.Printf("  pipeline %d (%s): %.3f ms, %d partition(s), %d tuples\n",
-			ev.Pipeline, ev.Label, (ev.End - ev.Start).Seconds()*1e3, ev.Parts, ev.Tuples)
+			ev.Pipeline, ev.Label, (ev.End-ev.Start).Seconds()*1e3, ev.Parts, ev.Tuples)
 	}
 }

@@ -1,0 +1,731 @@
+//go:build amd64 && (linux || darwin)
+
+package asm
+
+import (
+	"fmt"
+	"math"
+
+	"aqe/internal/ir"
+	"aqe/internal/rt"
+)
+
+// Fixed layout of nativeCtx as seen from generated code (asserted against
+// the Go struct in run_amd64.go's init).
+const (
+	ncRegs   = 0  // *uint64: register-file base (loaded into R12)
+	ncSegPtr = 8  // *[]byte: segment-table base (loaded into R15)
+	ncSegLen = 16 // uint64: segment count (loaded into RBX)
+	ncResume = 24 // uint64: code address to (re-)enter at
+	ncExit   = 32 // uint64: exit code (exitRet..exitFault)
+	ncA      = 40 // exit operand: callee index / trap code / faulting address
+	ncB      = 48 // exit operand: extern argc
+	ncC      = 56 // exit operand: return value / result slot + 1
+	ncArgs   = 64 // [16]uint64: staged extern-call arguments
+)
+
+// Exit codes written to ncExit before returning to the trampoline.
+const (
+	exitRet   = 0 // function returned; ncC = result bits
+	exitCall  = 1 // extern call; ncA = callee, ncB = argc, ncC = result slot+1, ncResume set
+	exitTrap  = 2 // rt trap; ncA = rt.TrapCode
+	exitFault = 3 // segmented-memory fault; ncA = faulting address
+)
+
+// pmove is one pending φ-move: register-file slot dst receives slot src,
+// or the immediate imm when src < 0.
+type pmove struct {
+	dst, src int32
+	imm      uint64
+}
+
+// compiler is the per-function state of the single emission pass.
+type compiler struct {
+	a        *asmBuf
+	f        *ir.Function
+	slot     []int32 // value ID → register-file slot (-1 = none / constant)
+	uses     []int32 // value ID → operand use count
+	fused    []bool  // block ID → terminator consumes the flags of the last instr
+	blockL   []int   // block ID → label
+	scratch  int32   // cycle-breaking slot for φ-moves
+	numSlots int
+
+	trapOvfL, trapDivL, faultL int
+}
+
+// Compile lowers an IR function to executable amd64 machine code. Like the
+// unoptimized closure backend it mutates f in place (critical-edge
+// splitting only); callers that need the original intact pass a clone.
+// Functions using an op the templates do not cover return an error
+// wrapping ErrUnsupported and the engine falls back to the closure tiers.
+func Compile(f *ir.Function) (*Code, error) {
+	f.SplitCriticalEdges()
+	c := &compiler{f: f, a: newAsmBuf(64 + f.NumInstrs()*48)}
+	if err := c.assignSlots(); err != nil {
+		return nil, err
+	}
+	c.analyze()
+	c.trapOvfL = c.a.label()
+	c.trapDivL = c.a.label()
+	c.faultL = c.a.label()
+	c.blockL = make([]int, len(f.Blocks))
+	for i := range f.Blocks {
+		c.blockL[i] = c.a.label()
+	}
+	for i, b := range f.Blocks {
+		if err := c.emitBlock(i, b); err != nil {
+			return nil, err
+		}
+	}
+	c.emitStubs()
+	return newCode(c.a.finish(), c.numSlots, len(f.Params))
+}
+
+// assignSlots gives every SSA value that needs materializing a register-
+// file slot: parameters first (matching the calling convention), then
+// instruction results in program order. Pair values occupy two adjacent
+// slots ({value, flag}); constants are encoded as immediates and get none.
+func (c *compiler) assignSlots() error {
+	c.slot = make([]int32, c.f.NumValues())
+	for i := range c.slot {
+		c.slot[i] = -1
+	}
+	next := int32(0)
+	for _, p := range c.f.Params {
+		if p.Type == ir.Pair {
+			return fmt.Errorf("asm: pair-typed parameter: %w", ErrUnsupported)
+		}
+		c.slot[p.ID] = next
+		next++
+	}
+	for _, b := range c.f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Type == ir.Void {
+				continue
+			}
+			c.slot[in.ID] = next
+			if in.Type == ir.Pair {
+				next += 2
+			} else {
+				next++
+			}
+		}
+	}
+	c.scratch = next
+	next++
+	c.numSlots = int(next)
+	return nil
+}
+
+// analyze counts operand uses and decides, per block, whether the
+// terminator can consume the condition flags of the block's last
+// instruction directly (ICmp feeding CondBr with no other use), skipping
+// the SETcc materialization.
+func (c *compiler) analyze() {
+	c.uses = make([]int32, c.f.NumValues())
+	for _, b := range c.f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				c.uses[a.ID]++
+			}
+		}
+		if b.Term != nil {
+			for _, a := range b.Term.Args {
+				c.uses[a.ID]++
+			}
+		}
+	}
+	c.fused = make([]bool, len(c.f.Blocks))
+	for _, b := range c.f.Blocks {
+		t := b.Term
+		if t == nil || t.Op != ir.OpCondBr || len(b.Instrs) == 0 {
+			continue
+		}
+		last := b.Instrs[len(b.Instrs)-1]
+		c.fused[b.ID] = last.Op == ir.OpICmp && t.Args[0] == last && c.uses[last.ID] == 1
+	}
+}
+
+// ld loads value v into GP register r (immediate or slot read). May
+// clobber condition flags (constant zero is XOR), so it must not be used
+// between a fused CMP and its Jcc.
+func (c *compiler) ld(r int, v *ir.Value) {
+	if v.IsConst() {
+		c.a.movRegImm64(r, v.Const)
+		return
+	}
+	c.a.movRegMem(r, slotMem(int(c.slot[v.ID])))
+}
+
+// st stores GP register r into v's slot.
+func (c *compiler) st(v *ir.Value, r int) {
+	c.a.movMemReg(slotMem(int(c.slot[v.ID])), r)
+}
+
+// fld loads an f64 value into XMM register x.
+func (c *compiler) fld(x int, v *ir.Value) {
+	if v.IsConst() {
+		c.a.movRegImm64(rAX, v.Const)
+		c.a.movqXR(x, rAX)
+		return
+	}
+	c.a.movsdLoad(x, slotMem(int(c.slot[v.ID])))
+}
+
+// imm32 reports whether v is a constant representable as a sign-extended
+// 32-bit immediate.
+func imm32(v *ir.Value) (int32, bool) {
+	if !v.IsConst() {
+		return 0, false
+	}
+	s := int64(v.Const)
+	if s < math.MinInt32 || s > math.MaxInt32 {
+		return 0, false
+	}
+	return int32(s), true
+}
+
+// addImm64 adds a 64-bit immediate to r (clobbers RDX for wide values).
+func (c *compiler) addImm64(r int, v uint64) {
+	if v == 0 {
+		return
+	}
+	s := int64(v)
+	if s >= math.MinInt32 && s <= math.MaxInt32 {
+		c.a.aluRegImm32(aluAdd, r, int32(s))
+		return
+	}
+	c.a.movRegImm64(rDX, v)
+	c.a.aluRegReg(aluAdd, r, rDX)
+}
+
+// predCC maps a comparison predicate to the condition code that is true
+// after CMP x, y.
+func predCC(p ir.Pred) byte {
+	switch p {
+	case ir.Eq:
+		return ccE
+	case ir.Ne:
+		return ccNE
+	case ir.SLt:
+		return ccL
+	case ir.SLe:
+		return ccLE
+	case ir.SGt:
+		return ccG
+	case ir.SGe:
+		return ccGE
+	case ir.ULt:
+		return ccB
+	case ir.ULe:
+		return ccBE
+	case ir.UGt:
+		return ccA
+	}
+	return ccAE // UGe
+}
+
+func (c *compiler) emitBlock(i int, b *ir.Block) error {
+	c.a.bind(c.blockL[b.ID])
+	for _, in := range b.Instrs {
+		if in.Op == ir.OpPhi {
+			if in.Type == ir.Pair {
+				return fmt.Errorf("asm: pair-typed phi: %w", ErrUnsupported)
+			}
+			continue // materialized by predecessor φ-moves
+		}
+		if err := c.emitInstr(in, b); err != nil {
+			return err
+		}
+	}
+	var next *ir.Block
+	if i+1 < len(c.f.Blocks) {
+		next = c.f.Blocks[i+1]
+	}
+	return c.emitTerm(b, next)
+}
+
+// emitCmp emits CMP for x against y (immediate when possible), setting
+// the condition flags for predCC.
+func (c *compiler) emitCmp(x, y *ir.Value) {
+	c.ld(rAX, x)
+	if v, ok := imm32(y); ok {
+		c.a.aluRegImm32(aluCmp, rAX, v)
+		return
+	}
+	c.ld(rCX, y)
+	c.a.aluRegReg(aluCmp, rAX, rCX)
+}
+
+// segTranslate expects a segmented address in RAX and emits the
+// translation sequence: bounds-check the segment index against RBX, load
+// the segment's data pointer into RDX and length into RSI from the table
+// at R15, extract the 48-bit offset into RDI, and bounds-check
+// offset+width against the length. Faults jump to the fault stub with the
+// address still in RAX. Clobbers RCX, RDX, RSI, RDI, R8.
+func (c *compiler) segTranslate(width int32) {
+	c.a.movRegReg(rCX, rAX)
+	c.a.shiftImm(5, rCX, 48) // shr: segment index
+	c.a.aluRegReg(aluCmp, rCX, rBX)
+	c.a.jcc(ccAE, c.faultL)
+	c.a.leaRegMem(rCX, mem{base: rCX, index: rCX, scale: 2})          // ×3: slice headers are 24 bytes
+	c.a.movRegMem(rDX, mem{base: r15, index: rCX, scale: 8})          // data pointer
+	c.a.movRegMem(rSI, mem{base: r15, index: rCX, scale: 8, disp: 8}) // length
+	c.a.movRegReg(rDI, rAX)
+	c.a.shiftImm(4, rDI, 16) // shl
+	c.a.shiftImm(5, rDI, 16) // shr: 48-bit offset
+	c.a.leaRegMem(r8, memBD(rDI, width))
+	c.a.aluRegReg(aluCmp, r8, rSI)
+	c.a.jcc(ccA, c.faultL)
+}
+
+func (c *compiler) emitInstr(in *ir.Value, b *ir.Block) error {
+	switch in.Op {
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
+		c.ld(rAX, in.Args[0])
+		if v, ok := imm32(in.Args[1]); ok {
+			if in.Op == ir.OpMul {
+				c.a.imulRegRegImm32(rAX, rAX, v)
+			} else {
+				c.a.aluRegImm32(aluOpFor(in.Op), rAX, v)
+			}
+		} else {
+			c.ld(rCX, in.Args[1])
+			if in.Op == ir.OpMul {
+				c.a.imulRegReg(rAX, rCX)
+			} else {
+				c.a.aluRegReg(aluOpFor(in.Op), rAX, rCX)
+			}
+		}
+		c.st(in, rAX)
+
+	case ir.OpShl, ir.OpLShr, ir.OpAShr:
+		ext := map[ir.Op]int{ir.OpShl: 4, ir.OpLShr: 5, ir.OpAShr: 7}[in.Op]
+		c.ld(rAX, in.Args[0])
+		if y := in.Args[1]; y.IsConst() {
+			if n := byte(y.Const & 63); n != 0 {
+				c.a.shiftImm(ext, rAX, n)
+			}
+		} else {
+			c.ld(rCX, y)
+			c.a.shiftCL(ext, rAX) // hardware masks CL to 6 bits, matching the VM's &63
+		}
+		c.st(in, rAX)
+
+	case ir.OpSDiv:
+		c.ld(rCX, in.Args[1])
+		c.a.testRegReg(rCX, rCX)
+		c.a.jcc(ccE, c.trapDivL)
+		c.ld(rAX, in.Args[0])
+		ok := c.a.label()
+		c.a.aluRegImm32(aluCmp, rCX, -1)
+		c.a.jcc(ccNE, ok)
+		c.a.movRegImm64(rDX, 0x8000000000000000)
+		c.a.aluRegReg(aluCmp, rAX, rDX)
+		c.a.jcc(ccE, c.trapOvfL) // MinInt64 / -1 overflows
+		c.a.bind(ok)
+		c.a.cqo()
+		c.a.idivReg(rCX)
+		c.st(in, rAX)
+
+	case ir.OpSRem:
+		c.ld(rCX, in.Args[1])
+		c.a.testRegReg(rCX, rCX)
+		c.a.jcc(ccE, c.trapDivL)
+		c.ld(rAX, in.Args[0])
+		ok, done := c.a.label(), c.a.label()
+		c.a.aluRegImm32(aluCmp, rCX, -1)
+		c.a.jcc(ccNE, ok)
+		c.a.movRegImm64(rAX, 0) // n % -1 = 0 for all n (Go semantics; avoids IDIV #DE)
+		c.a.jmp(done)
+		c.a.bind(ok)
+		c.a.cqo()
+		c.a.idivReg(rCX)
+		c.a.movRegReg(rAX, rDX)
+		c.a.bind(done)
+		c.st(in, rAX)
+
+	case ir.OpUDiv, ir.OpURem:
+		c.ld(rCX, in.Args[1])
+		c.a.testRegReg(rCX, rCX)
+		c.a.jcc(ccE, c.trapDivL)
+		c.ld(rAX, in.Args[0])
+		c.a.movRegImm64(rDX, 0)
+		c.a.divReg(rCX)
+		if in.Op == ir.OpUDiv {
+			c.st(in, rAX)
+		} else {
+			c.st(in, rDX)
+		}
+
+	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
+		op := map[ir.Op]sseOp{ir.OpFAdd: sseAdd, ir.OpFSub: sseSub,
+			ir.OpFMul: sseMul, ir.OpFDiv: sseDiv}[in.Op]
+		c.fld(0, in.Args[0])
+		c.fld(1, in.Args[1])
+		c.a.sseArith(op, 0, 1)
+		c.a.movsdStore(slotMem(int(c.slot[in.ID])), 0)
+
+	case ir.OpICmp:
+		c.emitCmp(in.Args[0], in.Args[1])
+		if c.fused[b.ID] && in == b.Instrs[len(b.Instrs)-1] {
+			return nil // flags consumed directly by the CondBr
+		}
+		c.a.setcc(predCC(in.Pred), rAX)
+		c.a.movzxRegReg8(rAX, rAX)
+		c.st(in, rAX)
+
+	case ir.OpFCmp:
+		// Ordered float semantics: any comparison with NaN is false.
+		switch in.Pred {
+		case ir.Eq:
+			c.fld(0, in.Args[0])
+			c.fld(1, in.Args[1])
+			c.a.ucomisd(0, 1)
+			c.a.setcc(ccNP, rCX)
+			c.a.setcc(ccE, rAX)
+			c.a.andRegReg8(rAX, rCX)
+		case ir.Ne:
+			c.fld(0, in.Args[0])
+			c.fld(1, in.Args[1])
+			c.a.ucomisd(0, 1)
+			c.a.setcc(ccP, rCX)
+			c.a.setcc(ccNE, rAX)
+			c.a.orRegReg8(rAX, rCX)
+		case ir.SGt, ir.SGe:
+			c.fld(0, in.Args[0])
+			c.fld(1, in.Args[1])
+			c.a.ucomisd(0, 1)
+			c.a.setcc(map[ir.Pred]byte{ir.SGt: ccA, ir.SGe: ccAE}[in.Pred], rAX)
+		case ir.SLt, ir.SLe:
+			// Swap operands so CF/ZF encode the answer NaN-correctly.
+			c.fld(0, in.Args[1])
+			c.fld(1, in.Args[0])
+			c.a.ucomisd(0, 1)
+			c.a.setcc(map[ir.Pred]byte{ir.SLt: ccA, ir.SLe: ccAE}[in.Pred], rAX)
+		default:
+			return fmt.Errorf("asm: fcmp %v: %w", in.Pred, ErrUnsupported)
+		}
+		c.a.movzxRegReg8(rAX, rAX)
+		c.st(in, rAX)
+
+	case ir.OpSAddOvf, ir.OpSSubOvf, ir.OpSMulOvf:
+		c.ld(rAX, in.Args[0])
+		c.ld(rCX, in.Args[1])
+		switch in.Op {
+		case ir.OpSAddOvf:
+			c.a.aluRegReg(aluAdd, rAX, rCX)
+		case ir.OpSSubOvf:
+			c.a.aluRegReg(aluSub, rAX, rCX)
+		default:
+			c.a.imulRegReg(rAX, rCX)
+		}
+		c.a.setcc(ccO, rDX)
+		c.a.movzxRegReg8(rDX, rDX)
+		s := int(c.slot[in.ID])
+		c.a.movMemReg(slotMem(s), rAX)
+		c.a.movMemReg(slotMem(s+1), rDX)
+
+	case ir.OpExtractValue:
+		c.a.movRegMem(rAX, slotMem(int(c.slot[in.Args[0].ID])+int(in.Lit)))
+		c.st(in, rAX)
+
+	case ir.OpSExt:
+		c.ld(rAX, in.Args[0])
+		switch in.Args[0].Type {
+		case ir.I1, ir.I8:
+			c.a.movsxRegReg8(rAX, rAX)
+		case ir.I16:
+			c.a.movsxRegReg16(rAX, rAX)
+		case ir.I32:
+			c.a.movsxdRegReg(rAX, rAX)
+		}
+		c.st(in, rAX)
+
+	case ir.OpZExt:
+		c.ld(rAX, in.Args[0]) // slots already hold canonical zero-extended bits
+		c.st(in, rAX)
+
+	case ir.OpTrunc:
+		c.ld(rAX, in.Args[0])
+		switch in.Type {
+		case ir.I1, ir.I8:
+			c.a.movzxRegReg8(rAX, rAX) // the VM truncates i1 with &0xff too
+		case ir.I16:
+			c.a.movzxRegReg16(rAX, rAX)
+		case ir.I32:
+			c.a.movRegReg32(rAX, rAX)
+		}
+		c.st(in, rAX)
+
+	case ir.OpSIToFP:
+		c.ld(rAX, in.Args[0])
+		c.a.cvtsi2sd(0, rAX)
+		c.a.movsdStore(slotMem(int(c.slot[in.ID])), 0)
+
+	case ir.OpFPToSI:
+		c.fld(0, in.Args[0])
+		c.a.cvttsd2si(rAX, 0) // CVTTSD2SI is exactly Go's int64(float64) on amd64
+		c.st(in, rAX)
+
+	case ir.OpLoad:
+		w := int32(in.Type.Width())
+		if w == 0 {
+			return fmt.Errorf("asm: load of %v: %w", in.Type, ErrUnsupported)
+		}
+		c.ld(rAX, in.Args[0])
+		c.segTranslate(w)
+		dm := mem{base: rDX, index: rDI, scale: 1}
+		switch w {
+		case 1:
+			c.a.movzxRegMem8(rAX, dm)
+		case 2:
+			c.a.movzxRegMem16(rAX, dm)
+		case 4:
+			c.a.movRegMem32(rAX, dm)
+		default:
+			c.a.movRegMem(rAX, dm)
+		}
+		c.st(in, rAX)
+
+	case ir.OpStore:
+		w := int32(in.Args[1].Type.Width())
+		if w == 0 {
+			return fmt.Errorf("asm: store of %v: %w", in.Args[1].Type, ErrUnsupported)
+		}
+		c.ld(r9, in.Args[1])
+		c.ld(rAX, in.Args[0])
+		c.segTranslate(w)
+		dm := mem{base: rDX, index: rDI, scale: 1}
+		switch w {
+		case 1:
+			c.a.movMemReg8(dm, r9)
+		case 2:
+			c.a.movMemReg16(dm, r9)
+		case 4:
+			c.a.movMemReg32(dm, r9)
+		default:
+			c.a.movMemReg(dm, r9)
+		}
+
+	case ir.OpGEP:
+		c.ld(rAX, in.Args[0])
+		if idx := in.Args[1]; idx.IsConst() {
+			c.addImm64(rAX, idx.Const*in.Lit+in.Lit2)
+		} else {
+			if in.Lit != 0 {
+				c.ld(rCX, idx)
+				if in.Lit != 1 {
+					if s := int64(in.Lit); s >= math.MinInt32 && s <= math.MaxInt32 {
+						c.a.imulRegRegImm32(rCX, rCX, int32(s))
+					} else {
+						c.a.movRegImm64(rDX, in.Lit)
+						c.a.imulRegReg(rCX, rDX)
+					}
+				}
+				c.a.aluRegReg(aluAdd, rAX, rCX)
+			}
+			c.addImm64(rAX, in.Lit2)
+		}
+		c.st(in, rAX)
+
+	case ir.OpSelect:
+		if in.Type == ir.Pair {
+			return fmt.Errorf("asm: pair-typed select: %w", ErrUnsupported)
+		}
+		c.ld(rAX, in.Args[1])
+		c.ld(rCX, in.Args[2])
+		c.ld(rDX, in.Args[0])
+		c.a.testRegReg(rDX, rDX)
+		c.a.cmovcc(ccE, rAX, rCX) // cond == 0 → else value
+		c.st(in, rAX)
+
+	case ir.OpCall:
+		if len(in.Args) > rt.MaxCallArgs {
+			return fmt.Errorf("asm: call with %d args: %w", len(in.Args), ErrUnsupported)
+		}
+		for i, arg := range in.Args {
+			c.ld(rAX, arg)
+			c.a.movMemReg(memBD(r13, ncArgs+int32(i)*8), rAX)
+		}
+		c.a.movMemImm32(memBD(r13, ncExit), exitCall)
+		c.a.movMemImm32(memBD(r13, ncA), int32(in.Callee))
+		c.a.movMemImm32(memBD(r13, ncB), int32(len(in.Args)))
+		dst := int32(0)
+		if in.Type != ir.Void {
+			dst = c.slot[in.ID] + 1
+		}
+		c.a.movMemImm32(memBD(r13, ncC), dst)
+		cont := c.a.label()
+		c.a.leaRIP(rAX, cont)
+		c.a.movMemReg(memBD(r13, ncResume), rAX)
+		c.a.ret()
+		c.a.bind(cont)
+
+	default:
+		return fmt.Errorf("asm: op %v: %w", in.Op, ErrUnsupported)
+	}
+	return nil
+}
+
+func aluOpFor(op ir.Op) aluOp {
+	switch op {
+	case ir.OpAdd:
+		return aluAdd
+	case ir.OpSub:
+		return aluSub
+	case ir.OpAnd:
+		return aluAnd
+	case ir.OpOr:
+		return aluOr
+	}
+	return aluXor
+}
+
+func (c *compiler) emitTerm(b *ir.Block, next *ir.Block) error {
+	t := b.Term
+	if t == nil {
+		return fmt.Errorf("asm: block without terminator: %w", ErrUnsupported)
+	}
+	switch t.Op {
+	case ir.OpBr:
+		c.emitMoves(c.phiMoves(b))
+		if t.Targets[0] != next {
+			c.a.jmp(c.blockL[t.Targets[0].ID])
+		}
+
+	case ir.OpCondBr:
+		thenB, elseB := t.Targets[0], t.Targets[1]
+		thenL, elseL := c.blockL[thenB.ID], c.blockL[elseB.ID]
+		var cc byte
+		if c.fused[b.ID] {
+			// Flags were set by the CMP at the end of the block; the
+			// φ-moves below use only MOV encodings so they survive.
+			cc = predCC(b.Instrs[len(b.Instrs)-1].Pred)
+		} else {
+			c.ld(r10, t.Args[0])
+		}
+		c.emitMoves(c.phiMoves(b))
+		if !c.fused[b.ID] {
+			c.a.testRegReg(r10, r10)
+			cc = ccNE // taken when cond != 0
+		}
+		switch {
+		case elseB == next:
+			c.a.jcc(cc, thenL)
+		case thenB == next:
+			c.a.jcc(cc^1, elseL) // inverted condition code
+		default:
+			c.a.jcc(cc, thenL)
+			c.a.jmp(elseL)
+		}
+
+	case ir.OpRet:
+		c.ld(rAX, t.Args[0])
+		c.a.movMemReg(memBD(r13, ncC), rAX)
+		c.a.movMemImm32(memBD(r13, ncExit), exitRet)
+		c.a.ret()
+
+	case ir.OpRetVoid:
+		c.a.movMemImm32(memBD(r13, ncC), 0)
+		c.a.movMemImm32(memBD(r13, ncExit), exitRet)
+		c.a.ret()
+
+	default:
+		return fmt.Errorf("asm: terminator %v: %w", t.Op, ErrUnsupported)
+	}
+	return nil
+}
+
+// phiMoves collects the parallel copies this block owes its successors'
+// φ-nodes. Critical edges were split, so emitting the union for all
+// successors on every exit is sound: a successor with φ-nodes has this
+// block as its only predecessor.
+func (c *compiler) phiMoves(b *ir.Block) []pmove {
+	var moves []pmove
+	for _, s := range b.Succs() {
+		for _, phi := range s.Phis() {
+			for i, in := range phi.Incoming {
+				if in != b {
+					continue
+				}
+				dst := c.slot[phi.ID]
+				if arg := phi.Args[i]; arg.IsConst() {
+					moves = append(moves, pmove{dst: dst, src: -1, imm: arg.Const})
+				} else if c.slot[arg.ID] != dst {
+					moves = append(moves, pmove{dst: dst, src: c.slot[arg.ID]})
+				}
+			}
+		}
+	}
+	return moves
+}
+
+// emitMoves sequentializes the parallel φ-copies: repeatedly emit moves
+// whose destination no other pending move still reads; on a cycle, park
+// one destination in the scratch slot and redirect its readers. Every
+// emitted instruction is a plain MOV so fused CMP flags survive.
+func (c *compiler) emitMoves(moves []pmove) {
+	for len(moves) > 0 {
+		progress := false
+		for i := 0; i < len(moves); i++ {
+			m := moves[i]
+			read := false
+			for j, o := range moves {
+				if j != i && o.src == m.dst {
+					read = true
+					break
+				}
+			}
+			if read {
+				continue
+			}
+			c.emitMove(m)
+			moves = append(moves[:i], moves[i+1:]...)
+			i--
+			progress = true
+		}
+		if !progress {
+			m0 := moves[0]
+			c.emitMove(pmove{dst: c.scratch, src: m0.dst})
+			for j := range moves {
+				if moves[j].src == m0.dst {
+					moves[j].src = c.scratch
+				}
+			}
+		}
+	}
+}
+
+func (c *compiler) emitMove(m pmove) {
+	if m.src < 0 {
+		s := int64(m.imm)
+		if s >= math.MinInt32 && s <= math.MaxInt32 {
+			c.a.movMemImm32(slotMem(int(m.dst)), int32(s))
+		} else {
+			c.a.movRegImm64(rAX, m.imm) // wide imm → MOVABS, flag-safe
+			c.a.movMemReg(slotMem(int(m.dst)), rAX)
+		}
+		return
+	}
+	c.a.movRegMem(rAX, slotMem(int(m.src)))
+	c.a.movMemReg(slotMem(int(m.dst)), rAX)
+}
+
+// emitStubs binds the shared trap and fault exits. They write the exit
+// record and return to the trampoline; the Go driver turns them into
+// rt.Throw / a bounds panic on the existing unwind paths.
+func (c *compiler) emitStubs() {
+	c.a.bind(c.trapOvfL)
+	c.a.movMemImm32(memBD(r13, ncExit), exitTrap)
+	c.a.movMemImm32(memBD(r13, ncA), int32(rt.TrapOverflow))
+	c.a.ret()
+	c.a.bind(c.trapDivL)
+	c.a.movMemImm32(memBD(r13, ncExit), exitTrap)
+	c.a.movMemImm32(memBD(r13, ncA), int32(rt.TrapDivZero))
+	c.a.ret()
+	c.a.bind(c.faultL)
+	c.a.movMemReg(memBD(r13, ncA), rAX)
+	c.a.movMemImm32(memBD(r13, ncExit), exitFault)
+	c.a.ret()
+}

@@ -1,0 +1,27 @@
+//go:build amd64 && (linux || darwin)
+
+#include "textflag.h"
+#include "funcdata.h"
+
+// func enter(nc *nativeCtx)
+//
+// Bridges from Go into assembled query code: loads the pinned registers
+// from the native context (R12 = register-file base, R15 = segment-table
+// base, RBX = segment count, R13 = the context itself) and calls
+// nc.resume. Generated code uses no Go stack beyond the return address,
+// never blocks, and returns here after writing an exit record into nc;
+// the Go driver loop services the exit and re-enters.
+//
+// Deliberately NOT NOSPLIT: the stack-split prologue guarantees the
+// usual headroom below SP before we leave Go's ken. R14 (g) and X15 are
+// never touched by generated code, and all other registers are
+// caller-saved at this boundary.
+TEXT ·enter(SB), $16-8
+	NO_LOCAL_POINTERS
+	MOVQ nc+0(FP), R13
+	MOVQ 0(R13), R12  // register-file base
+	MOVQ 8(R13), R15  // segment-table base
+	MOVQ 16(R13), BX  // segment count
+	MOVQ 24(R13), AX  // resume address
+	CALL AX
+	RET

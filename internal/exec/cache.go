@@ -40,10 +40,11 @@ type cachedPlan struct {
 }
 
 // cachedPipe holds the artifacts of one pipeline: the bytecode program and
-// the compiled closure per JIT tier (indexed by jit.Level).
+// the compiled artifact per JIT tier (indexed by jit.Level — the native
+// slot holds the assembled machine code, so warm runs start in tier 6).
 type cachedPipe struct {
 	prog     *vm.Program
-	compiled [2]*jit.Compiled
+	compiled [3]*jit.Compiled
 }
 
 // CacheStats is a snapshot of the compilation-cache counters.

@@ -29,9 +29,17 @@ type CostModel struct {
 	// explodes; a cubic term reproduces that knee (§V-E).
 	OptCubic float64
 
-	// SpeedupUnopt/SpeedupOpt are throughput ratios relative to bytecode.
-	SpeedupUnopt float64
-	SpeedupOpt   float64
+	// NativeBase/NativePerInstr model the copy-and-patch assemble latency
+	// of the native tier: template stitching is a single linear pass, so
+	// it sits well below even unoptimized closure compilation.
+	NativeBase     time.Duration
+	NativePerInstr time.Duration
+
+	// SpeedupUnopt/SpeedupOpt/SpeedupNative are throughput ratios
+	// relative to bytecode.
+	SpeedupUnopt  float64
+	SpeedupOpt    float64
+	SpeedupNative float64
 
 	// Simulate imposes the modeled times on actual compilations.
 	Simulate bool
@@ -49,9 +57,16 @@ func Paper() *CostModel {
 		OptBase:       2 * time.Millisecond,
 		OptPerInstr:   18 * time.Microsecond,
 		OptCubic:      3.5e-12, // ~3.5 s extra at 10k instructions in one function
-		SpeedupUnopt:  3.6,
-		SpeedupOpt:    5.0,
-		Simulate:      true,
+		// Copy-and-patch sits between the bytecode translator (~free) and
+		// fast instruction selection on the latency axis (Xu & Kjolstad
+		// 2021 report ~two orders below LLVM -O0) while approaching
+		// optimized machine code on the throughput axis.
+		NativeBase:     300 * time.Microsecond,
+		NativePerInstr: 1 * time.Microsecond,
+		SpeedupUnopt:   3.6,
+		SpeedupOpt:     5.0,
+		SpeedupNative:  5.5,
+		Simulate:       true,
 	}
 }
 
@@ -68,9 +83,15 @@ func Native() *CostModel {
 		OptBase:       50 * time.Microsecond,
 		OptPerInstr:   2500 * time.Nanosecond,
 		OptCubic:      0,
-		SpeedupUnopt:  1.2,
-		SpeedupOpt:    1.4,
-		Simulate:      false,
+		// Measured on the template JIT: assembly is one linear pass with
+		// no closure allocation, landing below the unoptimized closure
+		// backend (EXPERIMENTS.md, compile-latency table).
+		NativeBase:     10 * time.Microsecond,
+		NativePerInstr: 120 * time.Nanosecond,
+		SpeedupUnopt:   1.2,
+		SpeedupOpt:     1.4,
+		SpeedupNative:  2.0,
+		Simulate:       false,
 	}
 }
 
@@ -90,6 +111,11 @@ func (m *CostModel) OptTime(instrs int) time.Duration {
 	return d
 }
 
+// NativeTime predicts the copy-and-patch assemble time.
+func (m *CostModel) NativeTime(instrs int) time.Duration {
+	return m.NativeBase + time.Duration(instrs)*m.NativePerInstr
+}
+
 // Speedup returns the modeled throughput of a tier relative to bytecode.
 func (m *CostModel) Speedup(l Level) float64 {
 	switch l {
@@ -97,6 +123,8 @@ func (m *CostModel) Speedup(l Level) float64 {
 		return m.SpeedupUnopt
 	case LevelOptimized:
 		return m.SpeedupOpt
+	case LevelNative:
+		return m.SpeedupNative
 	}
 	return 1
 }

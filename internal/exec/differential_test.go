@@ -28,14 +28,16 @@ func checksum(res *Result) string {
 	return hex.EncodeToString(h.Sum(nil)[:12])
 }
 
-// TestCrossTierDifferential22 runs all 22 TPC-H queries under all five
+// TestCrossTierDifferential22 runs all 22 TPC-H queries under all six
 // execution modes and asserts identical result checksums, then runs each
 // query a second time on the same engine to prove that a cache-served
-// execution — shared bytecode, pre-installed compiled tiers — returns
-// byte-identical results.
+// execution — shared bytecode, pre-installed compiled tiers (including
+// tier-6 machine code) — returns byte-identical results. On platforms
+// without a native backend, ModeNative exercises the silent per-pipeline
+// fallback to the optimized closure tier instead.
 func TestCrossTierDifferential22(t *testing.T) {
 	cat := diffCat()
-	modes := []Mode{ModeBytecode, ModeUnoptimized, ModeOptimized, ModeAdaptive, ModeIRInterp}
+	modes := []Mode{ModeBytecode, ModeUnoptimized, ModeOptimized, ModeAdaptive, ModeIRInterp, ModeNative}
 	want := make(map[int]string)
 
 	for _, mode := range modes {
@@ -99,6 +101,13 @@ func TestBreakerConfigDifferential22(t *testing.T) {
 		{"no-dict-bytecode", Options{Workers: 4, Mode: ModeBytecode, NoDict: true}},
 		{"no-dict-no-zonemaps", Options{Workers: 4, Mode: ModeOptimized, Cost: Native(),
 			NoDict: true, NoZoneMaps: true}},
+		{"native", Options{Workers: 4, Mode: ModeNative, Cost: Native()}},
+		{"native-serial-no-filter", Options{Workers: 4, Mode: ModeNative, Cost: Native(),
+			SerialFinalize: true, NoJoinFilter: true}},
+		{"native-disabled", Options{Workers: 4, Mode: ModeNative, Cost: Native(),
+			NoNative: true}},
+		{"adaptive-no-native", Options{Workers: 4, Mode: ModeAdaptive, Cost: Native(),
+			NoNative: true, MorselSize: 512, CacheBytes: 64 << 20}},
 	}
 	want := make(map[int]string)
 	for _, cfg := range configs {

@@ -30,16 +30,20 @@ type Mode int
 // Execution modes (§V compares the three static modes against adaptive).
 // ModeIRInterp directly interprets the SSA graph — the paper's "LLVM IR"
 // interpreter baseline of Fig. 2, far slower than the bytecode VM.
+// ModeNative statically pins every pipeline to the copy-and-patch
+// machine-code tier (falling back per-pipeline to optimized closures when
+// the platform or a function is unsupported).
 const (
 	ModeBytecode Mode = iota
 	ModeUnoptimized
 	ModeOptimized
 	ModeAdaptive
 	ModeIRInterp
+	ModeNative
 )
 
 func (m Mode) String() string {
-	return [...]string{"bytecode", "unoptimized", "optimized", "adaptive", "ir-interp"}[m]
+	return [...]string{"bytecode", "unoptimized", "optimized", "adaptive", "ir-interp", "native"}[m]
 }
 
 // Options configures an Engine.
@@ -98,6 +102,11 @@ type Options struct {
 	// code-based group hashing, and string zone-map pruning; queries run
 	// against the raw string columns (results are bit-identical).
 	NoDict bool
+	// NoNative removes the native machine-code tier from the adaptive
+	// controller's choices (and makes ModeNative fall back to optimized
+	// closures). Cached plans carry the flag in their fingerprint so a
+	// NoNative run never reuses natively-warmed entries ambiguously.
+	NoNative bool
 	// FilterStats maintains per-worker filter hit/skip counters in
 	// generated probes and reports them in Stats. Off by default: the
 	// counters cost two extra memory operations per probe.
@@ -218,10 +227,17 @@ type Stats struct {
 	// Replans counts mid-query restarts on a reoptimized join order;
 	// EstCardErr is the worst misestimate factor max(est/obs, obs/est)
 	// observed at any join-build breaker (0 = no estimated joins ran).
-	Replans    int
-	EstCardErr float64
-	FilterHits   int64   // probes whose Bloom filter passed (FilterStats)
-	FilterSkips  int64   // probes whose chain walk was skipped (FilterStats)
+	Replans     int
+	EstCardErr  float64
+	FilterHits  int64 // probes whose Bloom filter passed (FilterStats)
+	FilterSkips int64 // probes whose chain walk was skipped (FilterStats)
+
+	// Native-tier counters: assemblies that produced machine code,
+	// morsels dispatched to native code, and per-pipeline fallbacks to a
+	// closure tier (unsupported op/platform or exec-memory failure).
+	NativeCompiles  int64
+	NativeMorsels   int64
+	NativeFallbacks int64
 
 	// Zone-map pruning: blocks/tuples skipped without dispatching, and
 	// the total source tuples of scans that carried a prune descriptor
@@ -455,6 +471,12 @@ func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string,
 		tExec := time.Now()
 		rows, err = qr.execute()
 		st.Exec += time.Since(tExec)
+		// Fold the run's tier-6 counters (atomics: a background compile can
+		// tick them until the moment of this snapshot). Accumulates across
+		// replan attempts like the duration fields above.
+		st.NativeCompiles += qr.nativeCompiles.Load()
+		st.NativeMorsels += qr.nativeMorsels.Load()
+		st.NativeFallbacks += qr.nativeFallbacks.Load()
 		if err == nil {
 			break
 		}

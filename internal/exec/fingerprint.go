@@ -28,14 +28,18 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:8]) }
 const fingerprintVersion = 1
 
 // fingerprintOf hashes a code-generated query under the engine's
-// translator options.
-func fingerprintOf(cq *codegen.Query, vopts vm.Options) Fingerprint {
+// translator options. noNative runs get a distinct fingerprint so their
+// cache entries never receive (or hand out) assembled native code.
+func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative bool) Fingerprint {
 	h := sha256.New()
 	var hdr [16]byte
 	hdr[0] = fingerprintVersion
 	hdr[1] = byte(vopts.Strategy)
 	if vopts.NoFusion {
 		hdr[2] = 1
+	}
+	if noNative {
+		hdr[3] = 1
 	}
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(vopts.WindowSize))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(cq.Pipelines)))

@@ -13,11 +13,14 @@ import (
 // Level is the execution tier of a worker function.
 type Level int32
 
-// Execution tiers, ordered by throughput (Fig. 3).
+// Execution tiers, ordered by throughput (Fig. 3). LevelNative is the
+// copy-and-patch machine-code tier (tier 6), available only where
+// asm.Supported() holds.
 const (
 	LevelBytecode Level = iota
 	LevelUnoptimized
 	LevelOptimized
+	LevelNative
 )
 
 func (l Level) String() string {
@@ -26,6 +29,8 @@ func (l Level) String() string {
 		return "bytecode"
 	case LevelUnoptimized:
 		return "unoptimized"
+	case LevelNative:
+		return "native"
 	default:
 		return "optimized"
 	}
@@ -46,6 +51,11 @@ type Handle struct {
 	compiled  atomic.Pointer[jit.Compiled]
 	level     atomic.Int32
 	compiling atomic.Bool
+
+	// nativeFailed latches a failed native compilation (unsupported op,
+	// exec-memory failure) so the controller stops proposing the tier for
+	// this function.
+	nativeFailed atomic.Bool
 }
 
 // NewHandle translates the function to bytecode and wraps it.
@@ -89,6 +99,13 @@ func (h *Handle) Install(c *jit.Compiled, l Level) {
 
 // AbortCompile clears the in-flight flag after a failed compilation.
 func (h *Handle) AbortCompile() { h.compiling.Store(false) }
+
+// MarkNativeFailed records that native compilation failed for this
+// function; NativeFailed gates further attempts.
+func (h *Handle) MarkNativeFailed() { h.nativeFailed.Store(true) }
+
+// NativeFailed reports whether a native compilation has failed.
+func (h *Handle) NativeFailed() bool { return h.nativeFailed.Load() }
 
 // Dispatch runs one morsel with the fastest available variant — the
 // paper's per-morsel dispatch code (Fig. 5).

@@ -1,0 +1,145 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"aqe/internal/asm"
+)
+
+// TestNativeStaticMode runs the stress plan in ModeNative and checks the
+// tier-6 counters: on platforms with a backend the pipelines assemble and
+// execute native code; elsewhere every pipeline silently degrades to the
+// optimized closure tier. Results must match bytecode either way.
+func TestNativeStaticMode(t *testing.T) {
+	ref, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(canon(ref.Rows, ref.Types))
+
+	e := New(Options{Workers: 2, Mode: ModeNative, Cost: Native()})
+	res, err := e.RunPlan(stressPlan(), "native")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(canon(res.Rows, res.Types)); got != want {
+		t.Error("native mode result diverged from bytecode")
+	}
+	st := res.Stats
+	if asm.Supported() {
+		if st.NativeCompiles == 0 {
+			t.Errorf("no native compilations on a supported platform: %+v", st)
+		}
+		if st.NativeMorsels == 0 {
+			t.Errorf("no morsels executed natively: %+v", st)
+		}
+	} else if st.NativeFallbacks == 0 {
+		t.Errorf("unsupported platform recorded no fallbacks: %+v", st)
+	}
+	if st.NativeCompiles+st.NativeFallbacks == 0 {
+		t.Error("ModeNative neither compiled natively nor fell back")
+	}
+}
+
+// TestNativeGracefulDegradation simulates executable-memory allocation
+// failure (and doubles as the no-backend-GOARCH test elsewhere): a
+// ModeNative query must complete silently in the closure tier with the
+// fallback counter raised and no morsel ever executing native code.
+func TestNativeGracefulDegradation(t *testing.T) {
+	ref, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(canon(ref.Rows, ref.Types))
+
+	asm.SetAllocFailure(true)
+	defer asm.SetAllocFailure(false)
+	e := New(Options{Workers: 2, Mode: ModeNative, Cost: Native()})
+	res, err := e.RunPlan(stressPlan(), "degraded")
+	if err != nil {
+		t.Fatalf("ModeNative did not degrade gracefully: %v", err)
+	}
+	if got := fmt.Sprint(canon(res.Rows, res.Types)); got != want {
+		t.Error("degraded result diverged from bytecode")
+	}
+	st := res.Stats
+	if st.NativeFallbacks == 0 {
+		t.Errorf("no fallbacks recorded under forced alloc failure: %+v", st)
+	}
+	if st.NativeMorsels != 0 {
+		t.Errorf("%d morsels ran natively despite alloc failure", st.NativeMorsels)
+	}
+	for i, l := range st.FinalLevels {
+		if l > LevelOptimized {
+			t.Errorf("pipeline %d finished in tier %v despite alloc failure", i, l)
+		}
+	}
+}
+
+// TestNativeAdaptiveDegradation: the controller proposes tier 6, assembly
+// fails, and the pipeline continues in a closure tier — the failure is
+// latched so the controller stops proposing the tier for that function.
+func TestNativeAdaptiveDegradation(t *testing.T) {
+	if !asm.Supported() {
+		t.Skip("no native backend; the controller never proposes tier 6 here")
+	}
+	ref, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(canon(ref.Rows, ref.Types))
+
+	asm.SetAllocFailure(true)
+	defer asm.SetAllocFailure(false)
+	cost := Native()
+	cost.UnoptBase, cost.UnoptPerInstr, cost.OptBase, cost.OptPerInstr = 0, 0, 0, 0
+	cost.NativeBase, cost.NativePerInstr = 0, 0
+	e := New(Options{Workers: 4, Mode: ModeAdaptive, Cost: cost, MorselSize: 32})
+	// The fallback ticks on a compile-pool worker; slow the morsel stream
+	// down a little so the pipeline is still draining when the failed
+	// assembly reports back, and retry in case it loses the race anyway.
+	// The first proposal is always tier 6 (cheapest compile, highest
+	// speedup), so any compilation implies a native attempt.
+	e.morselHook = func(int, *Handle, int) { time.Sleep(200 * time.Microsecond) }
+	compiled := 0
+	for attempt := 0; attempt < 25; attempt++ {
+		res, err := e.RunPlan(stressPlan(), "adaptive-degraded")
+		if err != nil {
+			t.Fatalf("adaptive query failed under native alloc failure: %v", err)
+		}
+		if got := fmt.Sprint(canon(res.Rows, res.Types)); got != want {
+			t.Fatal("adaptive degraded result diverged from bytecode")
+		}
+		if res.Stats.NativeMorsels != 0 {
+			t.Fatalf("%d morsels ran natively despite alloc failure", res.Stats.NativeMorsels)
+		}
+		compiled += res.Stats.Compilations
+		if res.Stats.NativeFallbacks > 0 {
+			return
+		}
+	}
+	if compiled == 0 {
+		t.Skip("controller never compiled on this machine; nothing to verify")
+	}
+	t.Errorf("controller compiled %d times but never recorded a native fallback", compiled)
+}
+
+// TestNoNativeDistinctFingerprint: disabling the native tier changes the
+// plan fingerprint, so NoNative runs never share cache entries (and thus
+// never receive assembled code) with native-enabled runs.
+func TestNoNativeDistinctFingerprint(t *testing.T) {
+	a, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Workers: 1, Mode: ModeBytecode, NoNative: true}).RunPlan(stressPlan(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Fingerprint == b.Stats.Fingerprint {
+		t.Errorf("NoNative shares fingerprint %s with the default configuration",
+			a.Stats.Fingerprint)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"aqe/internal/asm"
 	"aqe/internal/codegen"
 	"aqe/internal/expr"
 	"aqe/internal/jit"
@@ -44,6 +45,14 @@ type queryRun struct {
 	failMu    sync.Mutex
 	failed    error
 	cancelErr error
+
+	// Tier-6 counters, folded into Stats when the run finishes. They are
+	// atomics on the run (not fields of Stats) because a background compile
+	// can outlive the query: a late fallback may tick after the engine
+	// snapshots Stats, and must not race with that copy.
+	nativeCompiles  atomic.Int64
+	nativeMorsels   atomic.Int64
+	nativeFallbacks atomic.Int64
 }
 
 // cancel requests cooperative termination: workers stop claiming morsels,
@@ -82,7 +91,7 @@ func (qr *queryRun) cancelCause() error {
 // is created by the caller so its origin covers the admission wait.
 func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Memory, st *Stats, tr *Trace) (*queryRun, error) {
 	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st, trace: tr}
-	qr.fp = fingerprintOf(cq, e.opts.VM)
+	qr.fp = fingerprintOf(cq, e.opts.VM, e.opts.NoNative)
 	st.Fingerprint = qr.fp.Short()
 
 	tTr := time.Now()
@@ -131,32 +140,48 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 	// latency the adaptive mode exists to avoid. A cache hit skips both
 	// the compilation and its simulated latency: the artifact exists, so
 	// there is nothing to wait for.
-	if e.opts.Mode == ModeUnoptimized || e.opts.Mode == ModeOptimized {
+	if e.opts.Mode == ModeUnoptimized || e.opts.Mode == ModeOptimized || e.opts.Mode == ModeNative {
 		tC := time.Now()
 		level := jit.Unoptimized
 		hl := LevelUnoptimized
-		if e.opts.Mode == ModeOptimized {
-			level = jit.Optimized
-			hl = LevelOptimized
+		switch e.opts.Mode {
+		case ModeOptimized:
+			level, hl = jit.Optimized, LevelOptimized
+		case ModeNative:
+			level, hl = jit.Native, LevelNative
 		}
 		compiledAny := false
 		for i, h := range qr.handles {
-			var c *jit.Compiled
-			if ent != nil {
-				c = ent.pipes[i].compiled[level]
+			lv, l := level, hl
+			if lv == jit.Native && (!asm.Supported() || e.opts.NoNative) {
+				// No backend on this platform (or tier disabled): the static
+				// native mode degrades per-pipeline to the optimized closure
+				// tier, silently — the query must still complete (§IV-E).
+				h.MarkNativeFailed()
+				qr.nativeFallbacks.Add(1)
+				lv, l = jit.Optimized, LevelOptimized
 			}
-			if c == nil {
-				var cerr error
-				c, cerr = jit.Compile(h.Fn, level, h.Prog)
-				if cerr != nil {
+			c, fresh, cerr := qr.compiledFor(ent, i, h, lv)
+			if cerr != nil {
+				if lv != jit.Native {
 					return nil, cerr
 				}
-				compiledAny = true
-				if e.cache != nil {
-					e.cache.addCompiled(qr.fp, i, level, c)
+				// Unsupported op or exec-memory failure for this one
+				// function: degrade it to the optimized closure tier.
+				h.MarkNativeFailed()
+				qr.nativeFallbacks.Add(1)
+				lv, l = jit.Optimized, LevelOptimized
+				if c, fresh, cerr = qr.compiledFor(ent, i, h, lv); cerr != nil {
+					return nil, cerr
 				}
 			}
-			h.Install(c, hl)
+			if fresh {
+				compiledAny = true
+				if lv == jit.Native {
+					qr.nativeCompiles.Add(1)
+				}
+			}
+			h.Install(c, l)
 		}
 		if e.opts.Cost.Simulate && compiledAny {
 			d := qr.modelCompileTime(hl, st.Instrs, maxFnInstrs(cq))
@@ -166,7 +191,11 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		}
 		st.Compile += time.Since(tC)
 		if qr.trace != nil {
-			qr.trace.Add(Event{Kind: EvCompile, Pipeline: -1, Worker: -1,
+			kind := EvCompile
+			if e.opts.Mode == ModeNative {
+				kind = EvNative
+			}
+			qr.trace.Add(Event{Kind: kind, Pipeline: -1, Worker: -1,
 				Level: hl, Start: 0, End: qr.trace.Since(time.Now())})
 		}
 	}
@@ -174,9 +203,14 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 	// An adaptive query that hits the cache starts every pipeline in the
 	// best tier any earlier execution reached — no re-climbing through
 	// bytecode (the controller can still upgrade unoptimized pipelines).
+	// Cached native code starts the pipeline in tier 6 immediately: the
+	// assembled bytes are keyed by the plan fingerprint, so a warm run
+	// pays no assemble latency at all.
 	if e.opts.Mode == ModeAdaptive && ent != nil {
 		for i, h := range qr.handles {
-			if c := ent.pipes[i].compiled[jit.Optimized]; c != nil {
+			if c := ent.pipes[i].compiled[jit.Native]; c != nil && qr.nativeOK(h) {
+				h.Install(c, LevelNative)
+			} else if c := ent.pipes[i].compiled[jit.Optimized]; c != nil {
 				h.Install(c, LevelOptimized)
 			} else if c := ent.pipes[i].compiled[jit.Unoptimized]; c != nil {
 				h.Install(c, LevelUnoptimized)
@@ -216,9 +250,37 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 	return qr, nil
 }
 
+// compiledFor returns the compiled variant of pipeline i at the given
+// tier, reusing the cached artifact when present; fresh reports whether a
+// compilation actually ran (and was published to the cache).
+func (qr *queryRun) compiledFor(ent *cachedPlan, i int, h *Handle, level jit.Level) (c *jit.Compiled, fresh bool, err error) {
+	if ent != nil {
+		if c := ent.pipes[i].compiled[level]; c != nil {
+			return c, false, nil
+		}
+	}
+	if c, err = jit.Compile(h.Fn, level, h.Prog); err != nil {
+		return nil, false, err
+	}
+	if qr.eng.cache != nil {
+		qr.eng.cache.addCompiled(qr.fp, i, level, c)
+	}
+	return c, true, nil
+}
+
+// nativeOK reports whether the native tier may be proposed for h: the
+// platform has a backend, the tier is not disabled, and no earlier native
+// compilation of this function has failed.
+func (qr *queryRun) nativeOK(h *Handle) bool {
+	return asm.Supported() && !qr.eng.opts.NoNative && !h.NativeFailed()
+}
+
 // modelCompileTime returns the simulated whole-module compile latency.
 func (qr *queryRun) modelCompileTime(l Level, moduleInstrs, maxFn int) time.Duration {
 	m := qr.eng.opts.Cost
+	if l == LevelNative {
+		return m.NativeBase + time.Duration(moduleInstrs)*m.NativePerInstr
+	}
 	if l == LevelOptimized {
 		// Linear in the module, super-linear in the largest function.
 		d := m.OptBase + time.Duration(moduleInstrs)*m.OptPerInstr
@@ -730,6 +792,9 @@ func (j *pipelineJob) RunSlot(slot int) bool {
 		return false
 	}
 	j.pr.report(slot, end-begin, d)
+	if lvl == LevelNative {
+		qr.nativeMorsels.Add(1)
+	}
 	if qr.trace != nil {
 		qr.trace.Add(Event{Kind: EvMorsel, Pipeline: j.pl.ID, Label: j.pl.Label,
 			Worker: slot, Level: lvl, Start: qr.trace.Since(t0),
@@ -754,7 +819,11 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 		return
 	}
 	defer pr.evalGate.Store(false)
-	if h.Compiling() || h.Level() == LevelOptimized {
+	ceiling := LevelOptimized
+	if qr.nativeOK(h) {
+		ceiling = LevelNative
+	}
+	if h.Compiling() || h.Level() >= ceiling {
 		return
 	}
 	if time.Since(pr.started) < time.Millisecond {
@@ -804,6 +873,9 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 	}
 	consider(LevelUnoptimized, m.UnoptTime(h.Instrs))
 	consider(LevelOptimized, m.OptTime(h.Instrs))
+	if qr.nativeOK(h) {
+		consider(LevelNative, m.NativeTime(h.Instrs))
+	}
 
 	if best == cur {
 		return
@@ -827,9 +899,12 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 	m := qr.eng.opts.Cost
 	if m.Simulate {
 		var d time.Duration
-		if l == LevelOptimized {
+		switch l {
+		case LevelNative:
+			d = m.NativeTime(h.Instrs)
+		case LevelOptimized:
 			d = m.OptTime(h.Instrs)
-		} else {
+		default:
 			d = m.UnoptTime(h.Instrs)
 		}
 		if !qr.sleepUnlessCancelled(d) {
@@ -838,15 +913,31 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 		}
 	}
 	level := jit.Unoptimized
-	if l == LevelOptimized {
+	switch l {
+	case LevelOptimized:
 		level = jit.Optimized
+	case LevelNative:
+		level = jit.Native
 	}
 	c, err := jit.Compile(h.Fn, level, h.Prog)
+	if err != nil && l == LevelNative {
+		// Native assembly failed (unsupported op, exec-memory exhaustion):
+		// degrade this function to the optimized closure tier and latch the
+		// failure so the controller stops proposing tier 6 for it. The
+		// query keeps running either way (§IV-E).
+		h.MarkNativeFailed()
+		qr.nativeFallbacks.Add(1)
+		l, level = LevelOptimized, jit.Optimized
+		c, err = jit.Compile(h.Fn, level, h.Prog)
+	}
 	if err != nil {
 		h.AbortCompile()
 		qr.fail(fmt.Errorf("exec: background compile of %s: %w", h.Fn.Name, err))
 		pr.abort()
 		return
+	}
+	if l == LevelNative {
+		qr.nativeCompiles.Add(1)
 	}
 	h.Install(c, l)
 	if qr.eng.cache != nil {
@@ -855,7 +946,11 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 	pr.resetRates()
 	if qr.trace != nil {
 		now := time.Now()
-		qr.trace.Add(Event{Kind: EvCompile, Pipeline: pl.ID, Label: pl.Label,
+		kind := EvCompile
+		if l == LevelNative {
+			kind = EvNative
+		}
+		qr.trace.Add(Event{Kind: kind, Pipeline: pl.ID, Label: pl.Label,
 			Worker: -1, Level: l, Start: qr.trace.Since(t0), End: qr.trace.Since(now)})
 	}
 }

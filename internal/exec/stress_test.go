@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"aqe/internal/asm"
 	"aqe/internal/expr"
 	"aqe/internal/jit"
 	"aqe/internal/plan"
@@ -49,35 +50,43 @@ func TestModeSwitchStress(t *testing.T) {
 		MorselSize: 32, CacheBytes: 1 << 20, CompileWorkers: 2})
 
 	// Memoized per-handle variants (mutex-guarded: the hook runs on every
-	// worker concurrently).
+	// worker concurrently). On platforms without a native backend the
+	// tier-6 slot reuses the optimized closure, so the flip cadence is the
+	// same everywhere.
 	var variantMu sync.Mutex
-	variants := map[*Handle]*[2]*jit.Compiled{}
+	variants := map[*Handle]*[3]*jit.Compiled{}
 	variantFor := func(h *Handle, level jit.Level) *jit.Compiled {
 		variantMu.Lock()
 		defer variantMu.Unlock()
-		pair := variants[h]
-		if pair == nil {
-			pair = &[2]*jit.Compiled{}
-			variants[h] = pair
+		set := variants[h]
+		if set == nil {
+			set = &[3]*jit.Compiled{}
+			variants[h] = set
 		}
-		if pair[level] == nil {
+		if set[level] == nil {
 			c, err := jit.Compile(h.Fn, level, h.Prog)
 			if err != nil {
 				panic(err)
 			}
-			pair[level] = c
+			set[level] = c
 		}
-		return pair[level]
+		return set[level]
 	}
 	var flips atomic.Int64
 	e.morselHook = func(pipeline int, h *Handle, worker int) {
-		switch flips.Add(1) % 3 {
+		switch flips.Add(1) % 4 {
 		case 0:
 			h.Install(nil, LevelBytecode)
 		case 1:
 			h.Install(variantFor(h, jit.Unoptimized), LevelUnoptimized)
 		case 2:
 			h.Install(variantFor(h, jit.Optimized), LevelOptimized)
+		case 3:
+			if asm.Supported() {
+				h.Install(variantFor(h, jit.Native), LevelNative)
+			} else {
+				h.Install(variantFor(h, jit.Optimized), LevelOptimized)
+			}
 		}
 	}
 

@@ -15,13 +15,14 @@ type EventKind uint8
 const (
 	EvMorsel EventKind = iota
 	EvCompile
-	EvPhase    // planning / codegen / up-front compilation
-	EvFinalize // pipeline-breaker finalization (join link / agg merge)
+	EvPhase       // planning / codegen / up-front compilation
+	EvFinalize    // pipeline-breaker finalization (join link / agg merge)
 	EvPrune       // zone-map mask construction (Tuples/Parts = pruned tuples/blocks)
 	EvDictRewrite // dictionary-code rewrites baked into a pipeline (Tuples = rewrite count)
 	EvAdmit       // admission-queue wait (Start..End = queued interval)
 	EvCancel      // cancellation observed (instantaneous)
 	EvReplan      // mid-query reoptimization at a breaker (Tuples = observed build card)
+	EvNative      // native (tier-6) code assembled and installed
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -103,7 +104,7 @@ func (tr *Trace) Gantt(width int) string {
 			maxWorker = ev.Worker
 		}
 		switch ev.Kind {
-		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel, EvReplan:
+		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel, EvReplan, EvNative:
 			hasCompile = true
 		}
 	}
@@ -157,6 +158,9 @@ func (tr *Trace) Gantt(width int) string {
 		case EvReplan:
 			lane = maxWorker + 1
 			ch = 'R'
+		case EvNative:
+			lane = maxWorker + 1
+			ch = 'N'
 		case EvPhase:
 			ch = '='
 		}

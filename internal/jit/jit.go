@@ -22,6 +22,7 @@ package jit
 import (
 	"time"
 
+	"aqe/internal/asm"
 	"aqe/internal/ir"
 	"aqe/internal/ir/passes"
 	"aqe/internal/rt"
@@ -33,15 +34,21 @@ var _ = vm.Options{} // the vm dependency carries the Program type in Compile's 
 // Level identifies a compilation tier.
 type Level int
 
-// Compilation tiers.
+// Compilation tiers. Native is the copy-and-patch template JIT
+// (internal/asm): real machine code, only available where the platform
+// has a backend (asm.Supported()).
 const (
 	Unoptimized Level = iota
 	Optimized
+	Native
 )
 
 func (l Level) String() string {
-	if l == Optimized {
+	switch l {
+	case Optimized:
 		return "optimized"
+	case Native:
+		return "native"
 	}
 	return "unoptimized"
 }
@@ -63,6 +70,7 @@ type Compiled struct {
 	constPool []uint64
 	paramBase int
 	run       func(fr *frame)
+	native    *asm.Code // set instead of run for the Native tier
 
 	Stats Stats
 }
@@ -92,12 +100,19 @@ const closureBytes = 80
 // SizeBytes estimates the retained in-memory footprint of the compiled
 // function for compilation-cache byte budgeting.
 func (c *Compiled) SizeBytes() int {
-	return 96 + len(c.Name) + len(c.constPool)*8 + c.Stats.Closures*closureBytes
+	n := 96 + len(c.Name) + len(c.constPool)*8 + c.Stats.Closures*closureBytes
+	if c.native != nil {
+		n += c.native.SizeBytes()
+	}
+	return n
 }
 
 // Run executes the compiled function. It is safe for concurrent use with
 // distinct contexts: all mutable state lives in the frame and the context.
 func (c *Compiled) Run(ctx *rt.Ctx, args []uint64) uint64 {
+	if c.native != nil {
+		return c.native.Run(ctx, args)
+	}
 	regs := ctx.PushRegs(c.numRegs)
 	copy(regs, c.constPool)
 	copy(regs[c.paramBase:], args)
@@ -110,9 +125,29 @@ func (c *Compiled) Run(ctx *rt.Ctx, args []uint64) uint64 {
 // Compile compiles f at the given tier. The prog parameter is accepted
 // for callers that already hold the bytecode translation; the closure
 // backend compiles from the IR directly, so it may be nil.
+//
+// The Native tier assembles machine code via internal/asm; it fails with
+// an error wrapping asm.ErrUnsupported on platforms without a backend or
+// for functions using ops outside the template set, and callers fall back
+// to a closure tier.
 func Compile(f *ir.Function, level Level, prog *vm.Program) (*Compiled, error) {
 	_ = prog
 	start := time.Now()
+	if level == Native {
+		code, err := asm.Compile(f)
+		if err != nil {
+			return nil, err
+		}
+		c := &Compiled{
+			Name:   f.Name,
+			Level:  Native,
+			native: code,
+		}
+		c.numRegs = code.NumSlots()
+		c.Stats.IRInstrs = f.NumInstrs()
+		c.Stats.CompileTime = time.Since(start)
+		return c, nil
+	}
 	c, err := compileClosures(f, level)
 	if err != nil {
 		return nil, err

@@ -119,6 +119,14 @@ func (m *Memory) Seg(addr Addr) []byte {
 // Segments returns the number of mapped segments (including null).
 func (m *Memory) Segments() int { return len(*m.table.Load()) }
 
+// Segs returns the current segment table. The table is immutable once
+// published (growth copies it), so callers may hold the returned slice
+// across an arbitrary amount of work; they just won't observe segments
+// added afterwards. The native tier pins this snapshot while machine code
+// runs and re-snapshots after every extern call (the only points where new
+// segments can be published to the executing worker).
+func (m *Memory) Segs() [][]byte { return *m.table.Load() }
+
 // Bytes returns exactly n bytes at addr.
 func (m *Memory) Bytes(addr Addr, n int) []byte {
 	t := *m.table.Load()

@@ -6,6 +6,7 @@ import (
 	"encoding/binary"
 	"testing"
 
+	"aqe/internal/asm"
 	"aqe/internal/ir"
 	"aqe/internal/ir/interp"
 	"aqe/internal/rt"
@@ -143,7 +144,9 @@ func buildFuzzFunc(src *byteSrc) *ir.Function {
 // FuzzTranslate differentially fuzzes the bytecode translator: any input
 // becomes a verified IR function, which every register-allocation strategy
 // must translate without error and execute with results and memory
-// effects identical to the direct SSA interpreter.
+// effects identical to the direct SSA interpreter. Where a native backend
+// exists, the same function is also assembled to machine code (the tier-6
+// template JIT) and diffed against the same oracle.
 func FuzzTranslate(f *testing.F) {
 	f.Add([]byte("aqe"))
 	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 250, 251, 252, 253, 254, 255})
@@ -185,6 +188,24 @@ func FuzzTranslate(f *testing.F) {
 			}
 			if !bytes.Equal(mem, wantMem) {
 				t.Errorf("%+v: memory image diverges", o)
+			}
+		}
+		if asm.Supported() {
+			// Clone: asm.Compile splits critical edges in place.
+			code, err := asm.Compile(fn.Clone())
+			if err != nil {
+				t.Fatalf("native compile: %v", err)
+			}
+			mem := rt.NewMemory()
+			scratch := make([]byte, 32*8)
+			base := mem.AddSegment(scratch)
+			ctx := &rt.Ctx{Mem: mem}
+			res := code.Run(ctx, []uint64{args[0], args[1], base})
+			if res != wantRes {
+				t.Errorf("native: result %#x, want %#x", res, wantRes)
+			}
+			if !bytes.Equal(scratch, wantMem) {
+				t.Error("native: memory image diverges")
 			}
 		}
 	})
