@@ -160,7 +160,9 @@ func main() {
 			ev.Pipeline, ev.Label, ev.Tuples, ev.Start.Seconds()*1e3)
 	}
 
-	// Native (tier-6) installs ('N' on the compile lane above).
+	// Native (tier-6) installs ('N' on the compile lane above) and
+	// controller demotions out of native ('V': an EvNative whose installed
+	// level is not native records the tier the pipeline fell back to).
 	first = true
 	for _, ev := range merged.Events() {
 		if ev.Kind != exec.EvNative {
@@ -173,6 +175,11 @@ func main() {
 		scope := fmt.Sprintf("pipeline %d (%s)", ev.Pipeline, ev.Label)
 		if ev.Pipeline < 0 {
 			scope = "whole module (static mode)"
+		}
+		if ev.Level != exec.LevelNative {
+			fmt.Printf("  %s: demoted out of native to %s code (underperformed prediction)\n",
+				scope, ev.Level)
+			continue
 		}
 		fmt.Printf("  %s: machine code assembled in %.3f ms\n",
 			scope, (ev.End-ev.Start).Seconds()*1e3)

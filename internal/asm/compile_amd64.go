@@ -39,30 +39,64 @@ type pmove struct {
 	imm      uint64
 }
 
-// compiler is the per-function state of the single emission pass.
+// exitStore is one register spill a side exit performs before entering
+// the shared trap/fault stub.
+type exitStore struct {
+	phys int16 // unified location (xmmBase+x for XMM)
+	slot int32
+}
+
+// sideExit is an out-of-line stub that stores a dirty-register set to
+// canonical slots and then jumps to a shared trap/fault exit. Sites with
+// identical (target, dirty set) share one stub.
+type sideExit struct {
+	label, shared int
+	stores        []exitStore
+}
+
+// compiler is the per-function state of the single emission pass. ra is
+// nil for the slot-per-op backend (Options.NoRegAlloc): every helper
+// then degenerates to a scratch-register load/store around the template,
+// which is exactly the PR 7 baseline.
 type compiler struct {
 	a        *asmBuf
 	f        *ir.Function
+	ra       *regAlloc
+	preds    [][]*ir.Block
 	slot     []int32 // value ID → register-file slot (-1 = none / constant)
 	uses     []int32 // value ID → operand use count
 	fused    []bool  // block ID → terminator consumes the flags of the last instr
+	selFuse  []bool  // value ID → ICmp whose flags feed the immediately following Select
 	blockL   []int   // block ID → label
 	scratch  int32   // cycle-breaking slot for φ-moves
 	numSlots int
 
 	trapOvfL, trapDivL, faultL int
+	sideExits                  []sideExit
+	exitKeys                   map[string]int
+	keyBuf                     []byte // reusable side-exit dedup key scratch
 }
 
-// Compile lowers an IR function to executable amd64 machine code. Like the
-// unoptimized closure backend it mutates f in place (critical-edge
-// splitting only); callers that need the original intact pass a clone.
-// Functions using an op the templates do not cover return an error
-// wrapping ErrUnsupported and the engine falls back to the closure tiers.
-func Compile(f *ir.Function) (*Code, error) {
+// Compile lowers an IR function to executable amd64 machine code with the
+// default (register-allocating) backend.
+func Compile(f *ir.Function) (*Code, error) { return CompileOpts(f, Options{}) }
+
+// CompileOpts lowers an IR function to executable amd64 machine code.
+// Like the unoptimized closure backend it mutates f in place (critical-
+// edge splitting only); callers that need the original intact pass a
+// clone. Functions using an op the templates do not cover return an
+// error wrapping ErrUnsupported and the engine falls back to the closure
+// tiers.
+func CompileOpts(f *ir.Function, opts Options) (*Code, error) {
 	f.SplitCriticalEdges()
 	c := &compiler{f: f, a: newAsmBuf(64 + f.NumInstrs()*48)}
 	if err := c.assignSlots(); err != nil {
 		return nil, err
+	}
+	if !opts.NoRegAlloc {
+		c.ra = newRegAlloc(c)
+		c.preds = f.Preds()
+		c.exitKeys = make(map[string]int)
 	}
 	c.analyze()
 	c.trapOvfL = c.a.label()
@@ -117,10 +151,12 @@ func (c *compiler) assignSlots() error {
 	return nil
 }
 
-// analyze counts operand uses and decides, per block, whether the
-// terminator can consume the condition flags of the block's last
-// instruction directly (ICmp feeding CondBr with no other use), skipping
-// the SETcc materialization.
+// analyze counts operand uses and finds the flag-fusion opportunities:
+// per block, whether the terminator can consume the condition flags of
+// the block's last instruction directly (ICmp feeding CondBr with no
+// other use), and — under the allocator — ICmp results consumed solely
+// by the immediately following Select, which then compiles to CMP+CMOVcc
+// with no SETcc materialization.
 func (c *compiler) analyze() {
 	c.uses = make([]int32, c.f.NumValues())
 	for _, b := range c.f.Blocks {
@@ -136,19 +172,37 @@ func (c *compiler) analyze() {
 		}
 	}
 	c.fused = make([]bool, len(c.f.Blocks))
+	c.selFuse = make([]bool, c.f.NumValues())
 	for _, b := range c.f.Blocks {
 		t := b.Term
-		if t == nil || t.Op != ir.OpCondBr || len(b.Instrs) == 0 {
+		if t != nil && t.Op == ir.OpCondBr && len(b.Instrs) > 0 {
+			last := b.Instrs[len(b.Instrs)-1]
+			c.fused[b.ID] = last.Op == ir.OpICmp && t.Args[0] == last && c.uses[last.ID] == 1
+		}
+		if c.ra == nil {
 			continue
 		}
-		last := b.Instrs[len(b.Instrs)-1]
-		c.fused[b.ID] = last.Op == ir.OpICmp && t.Args[0] == last && c.uses[last.ID] == 1
+		for j := 1; j < len(b.Instrs); j++ {
+			in, prev := b.Instrs[j], b.Instrs[j-1]
+			if in.Op == ir.OpSelect && in.Type != ir.Pair &&
+				prev.Op == ir.OpICmp && in.Args[0] == prev && c.uses[prev.ID] == 1 {
+				c.selFuse[prev.ID] = true
+			}
+		}
 	}
 }
 
+// --- operand helpers -------------------------------------------------
+//
+// The template cases below never touch slots directly; they fetch
+// operands and allocate destinations through these helpers, which under
+// the allocator serve cached registers and only fall back to slot
+// traffic, and without it (NoRegAlloc) reproduce the slot-per-op
+// backend exactly.
+
 // ld loads value v into GP register r (immediate or slot read). May
 // clobber condition flags (constant zero is XOR), so it must not be used
-// between a fused CMP and its Jcc.
+// between a fused CMP and its consumer.
 func (c *compiler) ld(r int, v *ir.Value) {
 	if v.IsConst() {
 		c.a.movRegImm64(r, v.Const)
@@ -170,6 +224,213 @@ func (c *compiler) fld(x int, v *ir.Value) {
 		return
 	}
 	c.a.movsdLoad(x, slotMem(int(c.slot[v.ID])))
+}
+
+// ldInto emits v into the specific GP register r, reading a cached
+// register when the allocator has one.
+func (c *compiler) ldInto(r int, v *ir.Value) {
+	if c.ra != nil {
+		if p := c.ra.regOf(v); p >= xmmBase {
+			c.a.movqRX(r, p-xmmBase)
+			return
+		} else if p >= 0 {
+			if p != r {
+				c.a.movRegReg(r, p)
+			}
+			return
+		}
+	}
+	c.ld(r, v)
+}
+
+// ldIntoNF is ldInto restricted to flag-preserving encodings, for use
+// between a fused CMP and its CMOVcc.
+func (c *compiler) ldIntoNF(r int, v *ir.Value) {
+	if v.IsConst() {
+		c.a.movRegImm64NF(r, v.Const)
+		return
+	}
+	c.ldInto(r, v)
+}
+
+// use returns a GP register holding v, loading into scratch when it is
+// not already cached. Never allocates and never consumes a use slot.
+func (c *compiler) use(v *ir.Value, scratch int) int {
+	if c.ra != nil {
+		if p := c.ra.regOf(v); p >= 0 && p < xmmBase {
+			return p
+		}
+	}
+	c.ldInto(scratch, v)
+	return scratch
+}
+
+// useNF is use with flag-preserving loads.
+func (c *compiler) useNF(v *ir.Value, scratch int) int {
+	if c.ra != nil {
+		if p := c.ra.regOf(v); p >= 0 && p < xmmBase {
+			return p
+		}
+	}
+	c.ldIntoNF(scratch, v)
+	return scratch
+}
+
+// useAlloc is use, but a value with further uses in the block is loaded
+// into an allocated pool register (clean) instead of scratch, so later
+// templates find it cached. excl lists registers the current template
+// has already fetched and must not lose.
+func (c *compiler) useAlloc(v *ir.Value, scratch int, excl ...int) int {
+	if c.ra == nil || v.IsConst() {
+		c.ld(scratch, v)
+		return scratch
+	}
+	if p := c.ra.regOf(v); p >= xmmBase {
+		c.a.movqRX(scratch, p-xmmBase)
+		return scratch
+	} else if p >= 0 {
+		return p
+	}
+	if c.ra.nextUse(v.ID) != noUse {
+		p := c.ra.alloc(gprPool, excl...)
+		c.a.movRegMem(p, slotMem(int(c.slot[v.ID])))
+		c.ra.mapTo(v, p, false)
+		return p
+	}
+	c.a.movRegMem(scratch, slotMem(int(c.slot[v.ID])))
+	return scratch
+}
+
+// rhs fetches a right-hand operand either into a register or, for a
+// last-use value sitting in its slot, as a memory operand so the ALU
+// reads it directly. Constants come back as a register (imm32 forms are
+// the caller's business).
+func (c *compiler) rhs(v *ir.Value, scratch int, excl ...int) (reg int, m mem, inMem bool) {
+	if c.ra != nil && !v.IsConst() {
+		if p := c.ra.regOf(v); p >= xmmBase {
+			c.a.movqRX(scratch, p-xmmBase)
+			return scratch, mem{}, false
+		} else if p >= 0 {
+			return p, mem{}, false
+		}
+		if c.ra.nextUse(v.ID) != noUse {
+			p := c.ra.alloc(gprPool, excl...)
+			c.a.movRegMem(p, slotMem(int(c.slot[v.ID])))
+			c.ra.mapTo(v, p, false)
+			return p, mem{}, false
+		}
+		return 0, slotMem(int(c.slot[v.ID])), true
+	}
+	c.ld(scratch, v)
+	return scratch, mem{}, false
+}
+
+// useX returns an XMM register (index) holding v.
+func (c *compiler) useX(v *ir.Value, scratchX int) int {
+	if c.ra != nil {
+		if p := c.ra.regOf(v); p >= xmmBase {
+			return p - xmmBase
+		} else if p >= 0 {
+			c.a.movqXR(scratchX, p)
+			return scratchX
+		}
+	}
+	c.fld(scratchX, v)
+	return scratchX
+}
+
+// useAllocX is useAlloc for XMM operands; excl holds XMM indices.
+func (c *compiler) useAllocX(v *ir.Value, scratchX int, excl ...int) int {
+	if c.ra == nil || v.IsConst() {
+		c.fld(scratchX, v)
+		return scratchX
+	}
+	if p := c.ra.regOf(v); p >= xmmBase {
+		return p - xmmBase
+	} else if p >= 0 {
+		c.a.movqXR(scratchX, p)
+		return scratchX
+	}
+	if c.ra.nextUse(v.ID) != noUse {
+		phys := make([]int, len(excl))
+		for i, x := range excl {
+			phys[i] = xmmBase + x
+		}
+		p := c.ra.alloc(xmmPool, phys...)
+		c.a.movsdLoad(p-xmmBase, slotMem(int(c.slot[v.ID])))
+		c.ra.mapTo(v, p, false)
+		return p - xmmBase
+	}
+	c.a.movsdLoad(scratchX, slotMem(int(c.slot[v.ID])))
+	return scratchX
+}
+
+// def allocates the destination register for v: a pool GPR under the
+// allocator (marked dirty; pair it with fin), scratch otherwise. The
+// template must not write the returned register before its last trap or
+// fault branch, and must not read any register in excl after writing it.
+func (c *compiler) def(v *ir.Value, scratch int, excl ...int) int {
+	if c.ra != nil {
+		return c.ra.defGPR(v, excl...)
+	}
+	return scratch
+}
+
+// defX is def for float destinations; excl holds XMM indices.
+func (c *compiler) defX(v *ir.Value, scratchX int, excl ...int) int {
+	if c.ra != nil {
+		phys := make([]int, len(excl))
+		for i, x := range excl {
+			phys[i] = xmmBase + x
+		}
+		return c.ra.defXMM(v, phys...)
+	}
+	return scratchX
+}
+
+// fin completes a GP definition: the allocator already tracks the dirty
+// mapping; the slot backend stores the scratch register.
+func (c *compiler) fin(v *ir.Value, r int) {
+	if c.ra == nil {
+		c.st(v, r)
+	}
+}
+
+// finX completes an XMM definition.
+func (c *compiler) finX(v *ir.Value, x int) {
+	if c.ra == nil {
+		c.a.movsdStore(slotMem(int(c.slot[v.ID])), x)
+	}
+}
+
+// trapLabel returns the branch target for a trap/fault site. With no
+// dirty registers (or no allocator) the shared stub is jumped to
+// directly; otherwise the site gets an out-of-line side exit that first
+// stores the dirty set to canonical slots — the flush-at-exit invariant
+// at zero cost on the non-trapping path. Identical sites share stubs.
+func (c *compiler) trapLabel(shared int) int {
+	if c.ra == nil {
+		return shared
+	}
+	st := c.ra.dirtySet()
+	if len(st) == 0 {
+		return shared
+	}
+	key := c.keyBuf[:0]
+	key = append(key, byte(shared), byte(shared>>8))
+	for _, s := range st {
+		key = append(key, byte(s.phys), byte(s.slot), byte(s.slot>>8), byte(s.slot>>16), byte(s.slot>>24))
+	}
+	c.keyBuf = key
+	// string(key) in the lookup does not allocate; only a miss pays for
+	// the retained copies of the key and the store list.
+	if l, ok := c.exitKeys[string(key)]; ok {
+		return l
+	}
+	l := c.a.label()
+	c.exitKeys[string(key)] = l
+	c.sideExits = append(c.sideExits, sideExit{label: l, shared: shared, stores: append([]exitStore(nil), st...)})
+	return l
 }
 
 // imm32 reports whether v is a constant representable as a sign-extended
@@ -227,14 +488,31 @@ func predCC(p ir.Pred) byte {
 
 func (c *compiler) emitBlock(i int, b *ir.Block) error {
 	c.a.bind(c.blockL[b.ID])
-	for _, in := range b.Instrs {
+	if c.ra != nil {
+		// A block whose only predecessor is the block just emitted is
+		// entered with exactly the emission-end machine state (the
+		// terminator path emits MOVs and jumps only), so cached clean
+		// values carry across — the extended-basic-block case. Everything
+		// else starts from canonical slots.
+		inherit := false
+		if i > 0 {
+			ps := c.preds[b.ID]
+			inherit = len(ps) == 1 && ps[0] == c.f.Blocks[i-1]
+		}
+		c.ra.begin(b, inherit)
+	}
+	for j, in := range b.Instrs {
 		if in.Op == ir.OpPhi {
 			if in.Type == ir.Pair {
 				return fmt.Errorf("asm: pair-typed phi: %w", ErrUnsupported)
 			}
 			continue // materialized by predecessor φ-moves
 		}
-		if err := c.emitInstr(in, b); err != nil {
+		var prev *ir.Value
+		if j > 0 {
+			prev = b.Instrs[j-1]
+		}
+		if err := c.emitInstr(in, b, prev); err != nil {
 			return err
 		}
 	}
@@ -245,29 +523,34 @@ func (c *compiler) emitBlock(i int, b *ir.Block) error {
 	return c.emitTerm(b, next)
 }
 
-// emitCmp emits CMP for x against y (immediate when possible), setting
-// the condition flags for predCC.
+// emitCmp emits CMP for x against y (immediate or slot memory operand
+// when possible), setting the condition flags for predCC.
 func (c *compiler) emitCmp(x, y *ir.Value) {
-	c.ld(rAX, x)
+	xr := c.useAlloc(x, rAX)
 	if v, ok := imm32(y); ok {
-		c.a.aluRegImm32(aluCmp, rAX, v)
+		c.a.aluRegImm32(aluCmp, xr, v)
 		return
 	}
-	c.ld(rCX, y)
-	c.a.aluRegReg(aluCmp, rAX, rCX)
+	yr, ym, ymem := c.rhs(y, rCX, xr)
+	if ymem {
+		c.a.aluRegMem(aluCmp, xr, ym)
+	} else {
+		c.a.aluRegReg(aluCmp, xr, yr)
+	}
 }
 
 // segTranslate expects a segmented address in RAX and emits the
 // translation sequence: bounds-check the segment index against RBX, load
 // the segment's data pointer into RDX and length into RSI from the table
 // at R15, extract the 48-bit offset into RDI, and bounds-check
-// offset+width against the length. Faults jump to the fault stub with the
-// address still in RAX. Clobbers RCX, RDX, RSI, RDI, R8.
-func (c *compiler) segTranslate(width int32) {
+// offset+width against the length. Faults jump to faultL (the shared
+// stub or a dirty-spilling side exit) with the address still in RAX.
+// Clobbers RCX, RDX, RSI, RDI, R8.
+func (c *compiler) segTranslate(width int32, faultL int) {
 	c.a.movRegReg(rCX, rAX)
 	c.a.shiftImm(5, rCX, 48) // shr: segment index
 	c.a.aluRegReg(aluCmp, rCX, rBX)
-	c.a.jcc(ccAE, c.faultL)
+	c.a.jcc(ccAE, faultL)
 	c.a.leaRegMem(rCX, mem{base: rCX, index: rCX, scale: 2})          // ×3: slice headers are 24 bytes
 	c.a.movRegMem(rDX, mem{base: r15, index: rCX, scale: 8})          // data pointer
 	c.a.movRegMem(rSI, mem{base: r15, index: rCX, scale: 8, disp: 8}) // length
@@ -276,63 +559,98 @@ func (c *compiler) segTranslate(width int32) {
 	c.a.shiftImm(5, rDI, 16) // shr: 48-bit offset
 	c.a.leaRegMem(r8, memBD(rDI, width))
 	c.a.aluRegReg(aluCmp, r8, rSI)
-	c.a.jcc(ccA, c.faultL)
+	c.a.jcc(ccA, faultL)
 }
 
-func (c *compiler) emitInstr(in *ir.Value, b *ir.Block) error {
+func (c *compiler) emitInstr(in *ir.Value, b *ir.Block, prev *ir.Value) error {
+	if c.ra != nil {
+		c.ra.consume(in)
+	}
 	switch in.Op {
 	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpOr, ir.OpXor:
-		c.ld(rAX, in.Args[0])
+		x := c.useAlloc(in.Args[0], rAX)
 		if v, ok := imm32(in.Args[1]); ok {
 			if in.Op == ir.OpMul {
-				c.a.imulRegRegImm32(rAX, rAX, v)
+				dst := c.def(in, rAX)
+				c.a.imulRegRegImm32(dst, x, v)
+				c.fin(in, dst)
 			} else {
-				c.a.aluRegImm32(aluOpFor(in.Op), rAX, v)
+				dst := c.def(in, rAX)
+				if dst != x {
+					c.a.movRegReg(dst, x)
+				}
+				c.a.aluRegImm32(aluOpFor(in.Op), dst, v)
+				c.fin(in, dst)
 			}
 		} else {
-			c.ld(rCX, in.Args[1])
-			if in.Op == ir.OpMul {
-				c.a.imulRegReg(rAX, rCX)
-			} else {
-				c.a.aluRegReg(aluOpFor(in.Op), rAX, rCX)
+			yr, ym, ymem := c.rhs(in.Args[1], rCX, x)
+			dst := c.def(in, rAX, yr)
+			if dst != x {
+				c.a.movRegReg(dst, x)
 			}
+			switch {
+			case in.Op == ir.OpMul && ymem:
+				c.a.imulRegMem(dst, ym)
+			case in.Op == ir.OpMul:
+				c.a.imulRegReg(dst, yr)
+			case ymem:
+				c.a.aluRegMem(aluOpFor(in.Op), dst, ym)
+			default:
+				c.a.aluRegReg(aluOpFor(in.Op), dst, yr)
+			}
+			c.fin(in, dst)
 		}
-		c.st(in, rAX)
 
 	case ir.OpShl, ir.OpLShr, ir.OpAShr:
 		ext := map[ir.Op]int{ir.OpShl: 4, ir.OpLShr: 5, ir.OpAShr: 7}[in.Op]
-		c.ld(rAX, in.Args[0])
+		x := c.useAlloc(in.Args[0], rAX)
 		if y := in.Args[1]; y.IsConst() {
-			if n := byte(y.Const & 63); n != 0 {
-				c.a.shiftImm(ext, rAX, n)
+			dst := c.def(in, rAX)
+			if dst != x {
+				c.a.movRegReg(dst, x)
 			}
+			if n := byte(y.Const & 63); n != 0 {
+				c.a.shiftImm(ext, dst, n)
+			}
+			c.fin(in, dst)
 		} else {
-			c.ld(rCX, y)
-			c.a.shiftCL(ext, rAX) // hardware masks CL to 6 bits, matching the VM's &63
+			c.ldInto(rCX, y)
+			dst := c.def(in, rAX)
+			if dst != x {
+				c.a.movRegReg(dst, x)
+			}
+			c.a.shiftCL(ext, dst) // hardware masks CL to 6 bits, matching the VM's &63
+			c.fin(in, dst)
 		}
-		c.st(in, rAX)
 
 	case ir.OpSDiv:
-		c.ld(rCX, in.Args[1])
+		c.ldInto(rCX, in.Args[1])
+		divL := c.trapLabel(c.trapDivL)
+		ovfL := c.trapLabel(c.trapOvfL)
 		c.a.testRegReg(rCX, rCX)
-		c.a.jcc(ccE, c.trapDivL)
-		c.ld(rAX, in.Args[0])
+		c.a.jcc(ccE, divL)
+		c.ldInto(rAX, in.Args[0])
 		ok := c.a.label()
 		c.a.aluRegImm32(aluCmp, rCX, -1)
 		c.a.jcc(ccNE, ok)
 		c.a.movRegImm64(rDX, 0x8000000000000000)
 		c.a.aluRegReg(aluCmp, rAX, rDX)
-		c.a.jcc(ccE, c.trapOvfL) // MinInt64 / -1 overflows
+		c.a.jcc(ccE, ovfL) // MinInt64 / -1 overflows
 		c.a.bind(ok)
 		c.a.cqo()
 		c.a.idivReg(rCX)
-		c.st(in, rAX)
+		dst := c.def(in, rAX)
+		if dst != rAX {
+			c.a.movRegReg(dst, rAX)
+		}
+		c.fin(in, dst)
 
 	case ir.OpSRem:
-		c.ld(rCX, in.Args[1])
+		c.ldInto(rCX, in.Args[1])
+		divL := c.trapLabel(c.trapDivL)
 		c.a.testRegReg(rCX, rCX)
-		c.a.jcc(ccE, c.trapDivL)
-		c.ld(rAX, in.Args[0])
+		c.a.jcc(ccE, divL)
+		c.ldInto(rAX, in.Args[0])
 		ok, done := c.a.label(), c.a.label()
 		c.a.aluRegImm32(aluCmp, rCX, -1)
 		c.a.jcc(ccNE, ok)
@@ -343,82 +661,100 @@ func (c *compiler) emitInstr(in *ir.Value, b *ir.Block) error {
 		c.a.idivReg(rCX)
 		c.a.movRegReg(rAX, rDX)
 		c.a.bind(done)
-		c.st(in, rAX)
+		dst := c.def(in, rAX)
+		if dst != rAX {
+			c.a.movRegReg(dst, rAX)
+		}
+		c.fin(in, dst)
 
 	case ir.OpUDiv, ir.OpURem:
-		c.ld(rCX, in.Args[1])
+		c.ldInto(rCX, in.Args[1])
+		divL := c.trapLabel(c.trapDivL)
 		c.a.testRegReg(rCX, rCX)
-		c.a.jcc(ccE, c.trapDivL)
-		c.ld(rAX, in.Args[0])
+		c.a.jcc(ccE, divL)
+		c.ldInto(rAX, in.Args[0])
 		c.a.movRegImm64(rDX, 0)
 		c.a.divReg(rCX)
-		if in.Op == ir.OpUDiv {
-			c.st(in, rAX)
-		} else {
-			c.st(in, rDX)
+		res := rAX
+		if in.Op == ir.OpURem {
+			res = rDX
 		}
+		dst := c.def(in, res)
+		if dst != res {
+			c.a.movRegReg(dst, res)
+		}
+		c.fin(in, dst)
 
 	case ir.OpFAdd, ir.OpFSub, ir.OpFMul, ir.OpFDiv:
 		op := map[ir.Op]sseOp{ir.OpFAdd: sseAdd, ir.OpFSub: sseSub,
 			ir.OpFMul: sseMul, ir.OpFDiv: sseDiv}[in.Op]
-		c.fld(0, in.Args[0])
-		c.fld(1, in.Args[1])
-		c.a.sseArith(op, 0, 1)
-		c.a.movsdStore(slotMem(int(c.slot[in.ID])), 0)
+		x := c.useAllocX(in.Args[0], 0)
+		y := c.useAllocX(in.Args[1], 1, x)
+		dst := c.defX(in, 0, y)
+		if dst != x {
+			c.a.movsdRegReg(dst, x)
+		}
+		c.a.sseArith(op, dst, y)
+		c.finX(in, dst)
 
 	case ir.OpICmp:
 		c.emitCmp(in.Args[0], in.Args[1])
 		if c.fused[b.ID] && in == b.Instrs[len(b.Instrs)-1] {
 			return nil // flags consumed directly by the CondBr
 		}
+		if c.selFuse[in.ID] {
+			return nil // flags consumed by the following Select's CMOVcc
+		}
 		c.a.setcc(predCC(in.Pred), rAX)
-		c.a.movzxRegReg8(rAX, rAX)
-		c.st(in, rAX)
+		dst := c.def(in, rAX)
+		c.a.movzxRegReg8(dst, rAX)
+		c.fin(in, dst)
 
 	case ir.OpFCmp:
 		// Ordered float semantics: any comparison with NaN is false.
 		switch in.Pred {
 		case ir.Eq:
-			c.fld(0, in.Args[0])
-			c.fld(1, in.Args[1])
-			c.a.ucomisd(0, 1)
+			x := c.useX(in.Args[0], 0)
+			y := c.useX(in.Args[1], 1)
+			c.a.ucomisd(x, y)
 			c.a.setcc(ccNP, rCX)
 			c.a.setcc(ccE, rAX)
 			c.a.andRegReg8(rAX, rCX)
 		case ir.Ne:
-			c.fld(0, in.Args[0])
-			c.fld(1, in.Args[1])
-			c.a.ucomisd(0, 1)
+			x := c.useX(in.Args[0], 0)
+			y := c.useX(in.Args[1], 1)
+			c.a.ucomisd(x, y)
 			c.a.setcc(ccP, rCX)
 			c.a.setcc(ccNE, rAX)
 			c.a.orRegReg8(rAX, rCX)
 		case ir.SGt, ir.SGe:
-			c.fld(0, in.Args[0])
-			c.fld(1, in.Args[1])
-			c.a.ucomisd(0, 1)
+			x := c.useX(in.Args[0], 0)
+			y := c.useX(in.Args[1], 1)
+			c.a.ucomisd(x, y)
 			c.a.setcc(map[ir.Pred]byte{ir.SGt: ccA, ir.SGe: ccAE}[in.Pred], rAX)
 		case ir.SLt, ir.SLe:
 			// Swap operands so CF/ZF encode the answer NaN-correctly.
-			c.fld(0, in.Args[1])
-			c.fld(1, in.Args[0])
-			c.a.ucomisd(0, 1)
+			x := c.useX(in.Args[1], 0)
+			y := c.useX(in.Args[0], 1)
+			c.a.ucomisd(x, y)
 			c.a.setcc(map[ir.Pred]byte{ir.SLt: ccA, ir.SLe: ccAE}[in.Pred], rAX)
 		default:
 			return fmt.Errorf("asm: fcmp %v: %w", in.Pred, ErrUnsupported)
 		}
-		c.a.movzxRegReg8(rAX, rAX)
-		c.st(in, rAX)
+		dst := c.def(in, rAX)
+		c.a.movzxRegReg8(dst, rAX)
+		c.fin(in, dst)
 
 	case ir.OpSAddOvf, ir.OpSSubOvf, ir.OpSMulOvf:
-		c.ld(rAX, in.Args[0])
-		c.ld(rCX, in.Args[1])
+		c.ldInto(rAX, in.Args[0])
+		y := c.use(in.Args[1], rCX)
 		switch in.Op {
 		case ir.OpSAddOvf:
-			c.a.aluRegReg(aluAdd, rAX, rCX)
+			c.a.aluRegReg(aluAdd, rAX, y)
 		case ir.OpSSubOvf:
-			c.a.aluRegReg(aluSub, rAX, rCX)
+			c.a.aluRegReg(aluSub, rAX, y)
 		default:
-			c.a.imulRegReg(rAX, rCX)
+			c.a.imulRegReg(rAX, y)
 		}
 		c.a.setcc(ccO, rDX)
 		c.a.movzxRegReg8(rDX, rDX)
@@ -427,126 +763,244 @@ func (c *compiler) emitInstr(in *ir.Value, b *ir.Block) error {
 		c.a.movMemReg(slotMem(s+1), rDX)
 
 	case ir.OpExtractValue:
-		c.a.movRegMem(rAX, slotMem(int(c.slot[in.Args[0].ID])+int(in.Lit)))
-		c.st(in, rAX)
+		dst := c.def(in, rAX)
+		c.a.movRegMem(dst, slotMem(int(c.slot[in.Args[0].ID])+int(in.Lit)))
+		c.fin(in, dst)
 
 	case ir.OpSExt:
-		c.ld(rAX, in.Args[0])
+		x := c.use(in.Args[0], rAX)
+		dst := c.def(in, rAX)
 		switch in.Args[0].Type {
 		case ir.I1, ir.I8:
-			c.a.movsxRegReg8(rAX, rAX)
+			c.a.movsxRegReg8(dst, x)
 		case ir.I16:
-			c.a.movsxRegReg16(rAX, rAX)
+			c.a.movsxRegReg16(dst, x)
 		case ir.I32:
-			c.a.movsxdRegReg(rAX, rAX)
+			c.a.movsxdRegReg(dst, x)
+		default:
+			if dst != x {
+				c.a.movRegReg(dst, x)
+			}
 		}
-		c.st(in, rAX)
+		c.fin(in, dst)
 
 	case ir.OpZExt:
-		c.ld(rAX, in.Args[0]) // slots already hold canonical zero-extended bits
-		c.st(in, rAX)
+		x := c.use(in.Args[0], rAX) // slots already hold canonical zero-extended bits
+		dst := c.def(in, rAX)
+		if dst != x {
+			c.a.movRegReg(dst, x)
+		}
+		c.fin(in, dst)
 
 	case ir.OpTrunc:
-		c.ld(rAX, in.Args[0])
+		x := c.use(in.Args[0], rAX)
+		dst := c.def(in, rAX)
 		switch in.Type {
 		case ir.I1, ir.I8:
-			c.a.movzxRegReg8(rAX, rAX) // the VM truncates i1 with &0xff too
+			c.a.movzxRegReg8(dst, x) // the VM truncates i1 with &0xff too
 		case ir.I16:
-			c.a.movzxRegReg16(rAX, rAX)
+			c.a.movzxRegReg16(dst, x)
 		case ir.I32:
-			c.a.movRegReg32(rAX, rAX)
+			c.a.movRegReg32(dst, x)
+		default:
+			if dst != x {
+				c.a.movRegReg(dst, x)
+			}
 		}
-		c.st(in, rAX)
+		c.fin(in, dst)
 
 	case ir.OpSIToFP:
-		c.ld(rAX, in.Args[0])
-		c.a.cvtsi2sd(0, rAX)
-		c.a.movsdStore(slotMem(int(c.slot[in.ID])), 0)
+		x := c.use(in.Args[0], rAX)
+		dst := c.defX(in, 0)
+		c.a.xorps(dst) // CVTSI2SD merges: break the false dep on dst
+		c.a.cvtsi2sd(dst, x)
+		c.finX(in, dst)
 
 	case ir.OpFPToSI:
-		c.fld(0, in.Args[0])
-		c.a.cvttsd2si(rAX, 0) // CVTTSD2SI is exactly Go's int64(float64) on amd64
-		c.st(in, rAX)
+		x := c.useX(in.Args[0], 0)
+		dst := c.def(in, rAX)
+		c.a.cvttsd2si(dst, x) // CVTTSD2SI is exactly Go's int64(float64) on amd64
+		c.fin(in, dst)
 
 	case ir.OpLoad:
 		w := int32(in.Type.Width())
 		if w == 0 {
 			return fmt.Errorf("asm: load of %v: %w", in.Type, ErrUnsupported)
 		}
-		c.ld(rAX, in.Args[0])
-		c.segTranslate(w)
+		// Store-to-load forwarding: a load straight after a store to the
+		// same address value with matching width must see exactly the
+		// stored bytes, so the memory access (and its fault check, which
+		// the store already passed) is replaced by a register move. The
+		// store itself still executes, keeping the memory image identical.
+		if c.ra != nil && prev != nil && prev.Op == ir.OpStore &&
+			prev.Args[0] == in.Args[0] && int32(prev.Args[1].Type.Width()) == w {
+			v := prev.Args[1]
+			if in.Type == ir.F64 {
+				src := c.useX(v, 0)
+				dst := c.defX(in, 0)
+				if dst != src {
+					c.a.movsdRegReg(dst, src)
+				}
+				c.finX(in, dst)
+				return nil
+			}
+			src := c.use(v, rAX)
+			dst := c.def(in, rAX)
+			switch w {
+			case 1:
+				c.a.movzxRegReg8(dst, src)
+			case 2:
+				c.a.movzxRegReg16(dst, src)
+			case 4:
+				c.a.movRegReg32(dst, src)
+			default:
+				if dst != src {
+					c.a.movRegReg(dst, src)
+				}
+			}
+			c.fin(in, dst)
+			return nil
+		}
+		c.ldInto(rAX, in.Args[0])
+		if c.ra != nil {
+			c.ra.clobber(rSI, rDI, r8)
+		}
+		fl := c.trapLabel(c.faultL)
+		c.segTranslate(w, fl)
 		dm := mem{base: rDX, index: rDI, scale: 1}
+		if in.Type == ir.F64 {
+			dst := c.defX(in, 0)
+			c.a.movsdLoad(dst, dm)
+			c.finX(in, dst)
+			return nil
+		}
+		dst := c.def(in, rAX)
 		switch w {
 		case 1:
-			c.a.movzxRegMem8(rAX, dm)
+			c.a.movzxRegMem8(dst, dm)
 		case 2:
-			c.a.movzxRegMem16(rAX, dm)
+			c.a.movzxRegMem16(dst, dm)
 		case 4:
-			c.a.movRegMem32(rAX, dm)
+			c.a.movRegMem32(dst, dm)
 		default:
-			c.a.movRegMem(rAX, dm)
+			c.a.movRegMem(dst, dm)
 		}
-		c.st(in, rAX)
+		c.fin(in, dst)
 
 	case ir.OpStore:
 		w := int32(in.Args[1].Type.Width())
 		if w == 0 {
 			return fmt.Errorf("asm: store of %v: %w", in.Args[1].Type, ErrUnsupported)
 		}
-		c.ld(r9, in.Args[1])
-		c.ld(rAX, in.Args[0])
-		c.segTranslate(w)
+		// The stored value must survive segTranslate; R9..R11 do.
+		vr := -1
+		if c.ra != nil {
+			if p := c.ra.regOf(in.Args[1]); p == r9 || p == r10 || p == r11 {
+				vr = p
+			}
+		}
+		if vr < 0 {
+			if c.ra != nil {
+				c.ra.clobber(r9)
+			}
+			c.ldInto(r9, in.Args[1])
+			vr = r9
+		}
+		c.ldInto(rAX, in.Args[0])
+		if c.ra != nil {
+			c.ra.clobber(rSI, rDI, r8)
+		}
+		fl := c.trapLabel(c.faultL)
+		c.segTranslate(w, fl)
 		dm := mem{base: rDX, index: rDI, scale: 1}
 		switch w {
 		case 1:
-			c.a.movMemReg8(dm, r9)
+			c.a.movMemReg8(dm, vr)
 		case 2:
-			c.a.movMemReg16(dm, r9)
+			c.a.movMemReg16(dm, vr)
 		case 4:
-			c.a.movMemReg32(dm, r9)
+			c.a.movMemReg32(dm, vr)
 		default:
-			c.a.movMemReg(dm, r9)
+			c.a.movMemReg(dm, vr)
 		}
 
 	case ir.OpGEP:
-		c.ld(rAX, in.Args[0])
+		x := c.useAlloc(in.Args[0], rAX)
 		if idx := in.Args[1]; idx.IsConst() {
-			c.addImm64(rAX, idx.Const*in.Lit+in.Lit2)
-		} else {
-			if in.Lit != 0 {
-				c.ld(rCX, idx)
-				if in.Lit != 1 {
-					if s := int64(in.Lit); s >= math.MinInt32 && s <= math.MaxInt32 {
-						c.a.imulRegRegImm32(rCX, rCX, int32(s))
-					} else {
-						c.a.movRegImm64(rDX, in.Lit)
-						c.a.imulRegReg(rCX, rDX)
-					}
-				}
-				c.a.aluRegReg(aluAdd, rAX, rCX)
+			dst := c.def(in, rAX)
+			if dst != x {
+				c.a.movRegReg(dst, x)
 			}
-			c.addImm64(rAX, in.Lit2)
+			c.addImm64(dst, idx.Const*in.Lit+in.Lit2)
+			c.fin(in, dst)
+		} else if in.Lit == 0 {
+			dst := c.def(in, rAX)
+			if dst != x {
+				c.a.movRegReg(dst, x)
+			}
+			c.addImm64(dst, in.Lit2)
+			c.fin(in, dst)
+		} else {
+			iv := c.use(idx, rCX)
+			scaled := iv
+			if in.Lit != 1 {
+				if s := int64(in.Lit); s >= math.MinInt32 && s <= math.MaxInt32 {
+					c.a.imulRegRegImm32(rCX, iv, int32(s))
+				} else {
+					c.a.movRegImm64(rDX, in.Lit)
+					if iv != rCX {
+						c.a.movRegReg(rCX, iv)
+					}
+					c.a.imulRegReg(rCX, rDX)
+				}
+				scaled = rCX
+			}
+			dst := c.def(in, rAX, scaled)
+			if dst != x {
+				c.a.movRegReg(dst, x)
+			}
+			c.a.aluRegReg(aluAdd, dst, scaled)
+			c.addImm64(dst, in.Lit2)
+			c.fin(in, dst)
 		}
-		c.st(in, rAX)
 
 	case ir.OpSelect:
 		if in.Type == ir.Pair {
 			return fmt.Errorf("asm: pair-typed select: %w", ErrUnsupported)
 		}
-		c.ld(rAX, in.Args[1])
-		c.ld(rCX, in.Args[2])
-		c.ld(rDX, in.Args[0])
-		c.a.testRegReg(rDX, rDX)
-		c.a.cmovcc(ccE, rAX, rCX) // cond == 0 → else value
-		c.st(in, rAX)
+		if cond := in.Args[0]; c.ra != nil && !cond.IsConst() && c.selFuse[cond.ID] {
+			// The CMP was just emitted by the preceding ICmp; everything
+			// between it and the CMOVcc must preserve flags (spills and
+			// the NF loads are all MOVs).
+			tv := c.useNF(in.Args[1], rAX)
+			dst := c.def(in, rCX, tv)
+			c.ldIntoNF(dst, in.Args[2])
+			c.a.cmovcc(predCC(cond.Pred), dst, tv)
+			c.fin(in, dst)
+			return nil
+		}
+		tv := c.useAlloc(in.Args[1], rAX)
+		cv := c.use(in.Args[0], rDX)
+		dst := c.def(in, rCX, tv, cv)
+		c.ldInto(dst, in.Args[2])
+		c.a.testRegReg(cv, cv)
+		c.a.cmovcc(ccNE, dst, tv) // cond != 0 → then value
+		c.fin(in, dst)
 
 	case ir.OpCall:
 		if len(in.Args) > rt.MaxCallArgs {
 			return fmt.Errorf("asm: call with %d args: %w", len(in.Args), ErrUnsupported)
 		}
 		for i, arg := range in.Args {
-			c.ld(rAX, arg)
-			c.a.movMemReg(memBD(r13, ncArgs+int32(i)*8), rAX)
+			r := c.use(arg, rAX)
+			c.a.movMemReg(memBD(r13, ncArgs+int32(i)*8), r)
+		}
+		if c.ra != nil {
+			// The extern observes and may rewrite any slot from Go, so
+			// the frame must be canonical and every cached location is
+			// stale after the exit.
+			c.ra.flushAll()
+			c.ra.invalidateAll()
 		}
 		c.a.movMemImm32(memBD(r13, ncExit), exitCall)
 		c.a.movMemImm32(memBD(r13, ncA), int32(in.Callee))
@@ -587,8 +1041,14 @@ func (c *compiler) emitTerm(b *ir.Block, next *ir.Block) error {
 	if t == nil {
 		return fmt.Errorf("asm: block without terminator: %w", ErrUnsupported)
 	}
+	if c.ra != nil {
+		c.ra.consume(t)
+	}
 	switch t.Op {
 	case ir.OpBr:
+		if c.ra != nil {
+			c.ra.endBlock()
+		}
 		c.emitMoves(c.phiMoves(b))
 		if t.Targets[0] != next {
 			c.a.jmp(c.blockL[t.Targets[0].ID])
@@ -598,16 +1058,23 @@ func (c *compiler) emitTerm(b *ir.Block, next *ir.Block) error {
 		thenB, elseB := t.Targets[0], t.Targets[1]
 		thenL, elseL := c.blockL[thenB.ID], c.blockL[elseB.ID]
 		var cc byte
+		cv := -1
 		if c.fused[b.ID] {
 			// Flags were set by the CMP at the end of the block; the
-			// φ-moves below use only MOV encodings so they survive.
+			// flush and φ-moves below use only MOV encodings so they
+			// survive.
 			cc = predCC(b.Instrs[len(b.Instrs)-1].Pred)
 		} else {
-			c.ld(r10, t.Args[0])
+			// Fetch before the flush: endBlock may drop the mapping of a
+			// dead condition value, but the register contents survive.
+			cv = c.use(t.Args[0], rDX)
+		}
+		if c.ra != nil {
+			c.ra.endBlock()
 		}
 		c.emitMoves(c.phiMoves(b))
-		if !c.fused[b.ID] {
-			c.a.testRegReg(r10, r10)
+		if cv >= 0 {
+			c.a.testRegReg(cv, cv)
 			cc = ccNE // taken when cond != 0
 		}
 		switch {
@@ -621,12 +1088,18 @@ func (c *compiler) emitTerm(b *ir.Block, next *ir.Block) error {
 		}
 
 	case ir.OpRet:
-		c.ld(rAX, t.Args[0])
-		c.a.movMemReg(memBD(r13, ncC), rAX)
+		r := c.use(t.Args[0], rAX)
+		c.a.movMemReg(memBD(r13, ncC), r)
+		if c.ra != nil {
+			c.ra.endBlock()
+		}
 		c.a.movMemImm32(memBD(r13, ncExit), exitRet)
 		c.a.ret()
 
 	case ir.OpRetVoid:
+		if c.ra != nil {
+			c.ra.endBlock()
+		}
 		c.a.movMemImm32(memBD(r13, ncC), 0)
 		c.a.movMemImm32(memBD(r13, ncExit), exitRet)
 		c.a.ret()
@@ -712,9 +1185,10 @@ func (c *compiler) emitMove(m pmove) {
 	c.a.movMemReg(slotMem(int(m.dst)), rAX)
 }
 
-// emitStubs binds the shared trap and fault exits. They write the exit
-// record and return to the trampoline; the Go driver turns them into
-// rt.Throw / a bounds panic on the existing unwind paths.
+// emitStubs binds the shared trap and fault exits plus the per-site side
+// exits that spill dirty registers first. The shared stubs write the
+// exit record and return to the trampoline; the Go driver turns them
+// into rt.Throw / a bounds panic on the existing unwind paths.
 func (c *compiler) emitStubs() {
 	c.a.bind(c.trapOvfL)
 	c.a.movMemImm32(memBD(r13, ncExit), exitTrap)
@@ -728,4 +1202,17 @@ func (c *compiler) emitStubs() {
 	c.a.movMemReg(memBD(r13, ncA), rAX)
 	c.a.movMemImm32(memBD(r13, ncExit), exitFault)
 	c.a.ret()
+	// Side exits spill, then chain to the shared stubs above. The fault
+	// path's RAX (faulting address) is only read, never written, here.
+	for _, se := range c.sideExits {
+		c.a.bind(se.label)
+		for _, s := range se.stores {
+			if s.phys >= xmmBase {
+				c.a.movsdStore(slotMem(int(s.slot)), int(s.phys)-xmmBase)
+			} else {
+				c.a.movMemReg(slotMem(int(s.slot)), int(s.phys))
+			}
+		}
+		c.a.jmp(se.shared)
+	}
 }

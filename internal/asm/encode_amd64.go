@@ -218,6 +218,19 @@ func (a *asmBuf) movRegImm64(r int, v uint64) {
 	}
 }
 
+// movRegImm64NF is movRegImm64 without the XOR zero idiom, for contexts
+// where the condition flags must survive (fused CMP → CMOVcc/Jcc
+// sequences): every encoding it picks is a MOV.
+func (a *asmBuf) movRegImm64NF(r int, v uint64) {
+	if v == 0 {
+		a.rex(false, -1, -1, r) // mov r32, 0 zero-extends, flags untouched
+		a.byte(0xb8 + byte(r&7))
+		a.u32(0)
+		return
+	}
+	a.movRegImm64(r, v)
+}
+
 func (a *asmBuf) movRegReg(dst, src int) {
 	a.rex(true, src, -1, dst)
 	a.byte(0x89)
@@ -304,6 +317,13 @@ func (a *asmBuf) aluRegReg(op aluOp, dst, src int) {
 	a.modrmReg(src, dst)
 }
 
+// aluRegMem is the reg, r/m form (opcode|2): e.g. cmp reg, [mem].
+func (a *asmBuf) aluRegMem(op aluOp, reg int, m mem) {
+	a.rex(true, reg, m.index, m.base)
+	a.byte(byte(op) | 2)
+	a.modrmMem(reg, m)
+}
+
 func (a *asmBuf) aluRegImm32(op aluOp, dst int, v int32) {
 	ext := int(op) >> 3 // /0 add, /1 or, /4 and, /5 sub, /6 xor, /7 cmp
 	a.rex(true, -1, -1, dst)
@@ -322,6 +342,13 @@ func (a *asmBuf) imulRegReg(dst, src int) {
 	a.rex(true, dst, -1, src)
 	a.byte(0x0f, 0xaf)
 	a.modrmReg(dst, src)
+}
+
+// imulRegMem multiplies dst by a memory operand.
+func (a *asmBuf) imulRegMem(dst int, m mem) {
+	a.rex(true, dst, m.index, m.base)
+	a.byte(0x0f, 0xaf)
+	a.modrmMem(dst, m)
 }
 
 // imulRegRegImm32 computes dst = src * imm32.
@@ -477,6 +504,34 @@ func (a *asmBuf) movqXR(x, r int) {
 	a.rex(true, x, -1, r)
 	a.byte(0x0f, 0x6e)
 	a.modrmReg(x, r)
+}
+
+// movqRX moves an XMM register into a GP register.
+func (a *asmBuf) movqRX(r, x int) {
+	a.byte(0x66)
+	a.rex(true, x, -1, r)
+	a.byte(0x0f, 0x7e)
+	a.modrmReg(x, r)
+}
+
+// movsdRegReg copies a scalar double between XMM registers. Encoded as
+// MOVAPS: the scalar MOVSD xmm,xmm form merges into the destination's
+// upper lanes and so carries a false dependency on the register's
+// previous contents — with long-lived allocator pool registers that
+// serializes unrelated arithmetic behind whatever last wrote dst (a
+// divide chain, typically). MOVAPS writes the full register.
+func (a *asmBuf) movsdRegReg(dst, src int) {
+	a.rex(false, dst, -1, src)
+	a.byte(0x0f, 0x28)
+	a.modrmReg(dst, src)
+}
+
+// xorps zeroes an XMM register (dependency-breaking idiom: recognized by
+// the renamer, so it also severs false output dependencies).
+func (a *asmBuf) xorps(x int) {
+	a.rex(false, x, -1, x)
+	a.byte(0x0f, 0x57)
+	a.modrmReg(x, x)
 }
 
 func (a *asmBuf) sseArith(op sseOp, dst, src int) {

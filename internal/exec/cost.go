@@ -83,15 +83,21 @@ func Native() *CostModel {
 		OptBase:       50 * time.Microsecond,
 		OptPerInstr:   2500 * time.Nanosecond,
 		OptCubic:      0,
-		// Measured on the template JIT: assembly is one linear pass with
-		// no closure allocation, landing below the unoptimized closure
-		// backend (EXPERIMENTS.md, compile-latency table).
-		NativeBase:     10 * time.Microsecond,
-		NativePerInstr: 120 * time.Nanosecond,
+		// Measured on the register-allocating template JIT (PR 8,
+		// EXPERIMENTS.md compile-latency table): ~0.35 µs per instruction
+		// plus a small fixed cost for the allocator's per-function arrays,
+		// landing at or below the bytecode translator and well below the
+		// closure backends.
+		NativeBase:     25 * time.Microsecond,
+		NativePerInstr: 350 * time.Nanosecond,
 		SpeedupUnopt:   1.2,
 		SpeedupOpt:     1.4,
-		SpeedupNative:  2.0,
-		Simulate:       false,
+		// Measured native-over-bytecode spans 2.2x (hash-bound Q10,
+		// hashwalk) to 9x (float-dense aggregation); 3.0 is a deliberately
+		// conservative prediction so the demotion controller (which demotes
+		// below 0.5x of prediction) tolerates the memory-bound low end.
+		SpeedupNative: 3.0,
+		Simulate:      false,
 	}
 }
 

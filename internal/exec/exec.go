@@ -107,6 +107,11 @@ type Options struct {
 	// closures). Cached plans carry the flag in their fingerprint so a
 	// NoNative run never reuses natively-warmed entries ambiguously.
 	NoNative bool
+	// NoRegAlloc forces the native tier's slot-per-op template backend
+	// instead of the register-allocating one (jit.Options.NoRegAlloc) —
+	// the ablation baseline for the allocator. Fingerprints carry the
+	// flag so cached native code is never shared across the two backends.
+	NoRegAlloc bool
 	// FilterStats maintains per-worker filter hit/skip counters in
 	// generated probes and reports them in Stats. Off by default: the
 	// counters cost two extra memory operations per probe.

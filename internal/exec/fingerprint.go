@@ -29,8 +29,10 @@ const fingerprintVersion = 1
 
 // fingerprintOf hashes a code-generated query under the engine's
 // translator options. noNative runs get a distinct fingerprint so their
-// cache entries never receive (or hand out) assembled native code.
-func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative bool) Fingerprint {
+// cache entries never receive (or hand out) assembled native code;
+// noRegAlloc likewise separates the two native backends so a cached
+// variant always matches the backend the engine would pick.
+func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative, noRegAlloc bool) Fingerprint {
 	h := sha256.New()
 	var hdr [16]byte
 	hdr[0] = fingerprintVersion
@@ -40,6 +42,9 @@ func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative bool) Fingerpri
 	}
 	if noNative {
 		hdr[3] = 1
+	}
+	if noRegAlloc {
+		hdr[12] = 1
 	}
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(vopts.WindowSize))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(cq.Pipelines)))

@@ -143,3 +143,106 @@ func TestNoNativeDistinctFingerprint(t *testing.T) {
 			a.Stats.Fingerprint)
 	}
 }
+
+// TestNoRegAllocDistinctFingerprint: the slot-per-op escape hatch changes
+// the plan fingerprint, so the two native backends never share cached
+// machine code.
+func TestNoRegAllocDistinctFingerprint(t *testing.T) {
+	a, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(Options{Workers: 1, Mode: ModeBytecode, NoRegAlloc: true}).RunPlan(stressPlan(), "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Fingerprint == b.Stats.Fingerprint {
+		t.Errorf("NoRegAlloc shares fingerprint %s with the default configuration",
+			a.Stats.Fingerprint)
+	}
+}
+
+// TestNativeNoRegAllocMode runs ModeNative with the slot-per-op backend
+// forced and checks it still assembles and executes machine code with
+// results matching bytecode.
+func TestNativeNoRegAllocMode(t *testing.T) {
+	ref, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(canon(ref.Rows, ref.Types))
+
+	e := New(Options{Workers: 2, Mode: ModeNative, Cost: Native(), NoRegAlloc: true})
+	res, err := e.RunPlan(stressPlan(), "native-noregalloc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := fmt.Sprint(canon(res.Rows, res.Types)); got != want {
+		t.Error("slot-per-op native result diverged from bytecode")
+	}
+	if asm.Supported() && res.Stats.NativeMorsels == 0 {
+		t.Errorf("no morsels executed natively: %+v", res.Stats)
+	}
+}
+
+// TestNativeDemotion: the controller must demote a pipeline out of native
+// code when its measured morsel rate falls far short of what the cost
+// model predicted at promotion time. An absurd SpeedupNative makes any
+// real pipeline underperform its prediction, so promotion is always
+// followed by demotion; the demotion latches the native failure, ticks
+// NativeFallbacks, and leaves the pipeline in the optimized tier.
+func TestNativeDemotion(t *testing.T) {
+	if !asm.Supported() {
+		t.Skip("no native backend; the controller never proposes tier 6 here")
+	}
+	ref, err := New(Options{Workers: 1, Mode: ModeBytecode}).RunPlan(stressPlan(), "ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprint(canon(ref.Rows, ref.Types))
+
+	cost := Native()
+	cost.UnoptBase, cost.UnoptPerInstr, cost.OptBase, cost.OptPerInstr = 0, 0, 0, 0
+	cost.NativeBase, cost.NativePerInstr = 0, 0
+	// Native code cannot possibly be 1e9x faster than bytecode: the
+	// measured rate lands below demoteMargin of the prediction as soon as
+	// the warmup evaluations pass.
+	cost.SpeedupNative = 1e9
+	e := New(Options{Workers: 4, Mode: ModeAdaptive, Cost: cost, MorselSize: 32, Trace: true})
+	// Slow the morsel stream slightly so pipelines are still draining when
+	// the background install + warmup evaluations complete; retry in case
+	// a short pipeline still wins the race.
+	e.morselHook = func(int, *Handle, int) { time.Sleep(200 * time.Microsecond) }
+	promoted := int64(0)
+	for attempt := 0; attempt < 25; attempt++ {
+		res, err := e.RunPlan(stressPlan(), "demote")
+		if err != nil {
+			t.Fatalf("adaptive query failed: %v", err)
+		}
+		if got := fmt.Sprint(canon(res.Rows, res.Types)); got != want {
+			t.Fatal("result diverged across promotion and demotion")
+		}
+		promoted += res.Stats.NativeCompiles
+		if res.Stats.NativeFallbacks > 0 {
+			// The demotion must be recorded in the trace as an EvNative
+			// event whose level is not native.
+			found := false
+			for _, ev := range res.Trace.Events() {
+				if ev.Kind == EvNative && ev.Level != LevelNative {
+					found = true
+					if ev.Level != LevelOptimized {
+						t.Errorf("demotion landed in tier %v, want optimized", ev.Level)
+					}
+				}
+			}
+			if !found {
+				t.Error("demotion happened but no demotion trace event recorded")
+			}
+			return
+		}
+	}
+	if promoted == 0 {
+		t.Skip("controller never promoted to native on this machine; nothing to verify")
+	}
+	t.Errorf("native installed %d times but the controller never demoted", promoted)
+}

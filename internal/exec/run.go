@@ -91,7 +91,7 @@ func (qr *queryRun) cancelCause() error {
 // is created by the caller so its origin covers the admission wait.
 func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Memory, st *Stats, tr *Trace) (*queryRun, error) {
 	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st, trace: tr}
-	qr.fp = fingerprintOf(cq, e.opts.VM, e.opts.NoNative)
+	qr.fp = fingerprintOf(cq, e.opts.VM, e.opts.NoNative, e.opts.NoRegAlloc)
 	st.Fingerprint = qr.fp.Short()
 
 	tTr := time.Now()
@@ -259,7 +259,7 @@ func (qr *queryRun) compiledFor(ent *cachedPlan, i int, h *Handle, level jit.Lev
 			return c, false, nil
 		}
 	}
-	if c, err = jit.Compile(h.Fn, level, h.Prog); err != nil {
+	if c, err = jit.CompileOpts(h.Fn, level, h.Prog, qr.jitOpts()); err != nil {
 		return nil, false, err
 	}
 	if qr.eng.cache != nil {
@@ -273,6 +273,12 @@ func (qr *queryRun) compiledFor(ent *cachedPlan, i int, h *Handle, level jit.Lev
 // compilation of this function has failed.
 func (qr *queryRun) nativeOK(h *Handle) bool {
 	return asm.Supported() && !qr.eng.opts.NoNative && !h.NativeFailed()
+}
+
+// jitOpts returns the backend options every compilation of this query
+// uses (the fingerprint carries them, so cached artifacts match).
+func (qr *queryRun) jitOpts() jit.Options {
+	return jit.Options{NoRegAlloc: qr.eng.opts.NoRegAlloc}
 }
 
 // modelCompileTime returns the simulated whole-module compile latency.
@@ -415,6 +421,16 @@ type progress struct {
 
 	rates    []atomic.Uint64 // per worker slot: float64 bits, tuples/sec
 	evalGate atomic.Bool
+
+	// Demotion bookkeeping: the measured rate (float64 bits) and tier just
+	// before native code was installed, and how many controller
+	// evaluations have run since. After a short warmup, the controller
+	// compares the native rate against the rate the cost model predicted
+	// from the pre-native measurement and demotes the pipeline out of
+	// native when it badly underperforms (run-time misprediction, §III-C).
+	preNativeRate atomic.Uint64
+	preNativeLvl  atomic.Int32
+	nativeEvals   atomic.Int32
 
 	// executing counts pool workers currently inside a morsel of this
 	// pipeline — the query's *granted* parallelism. Under concurrent load
@@ -823,7 +839,14 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 	if qr.nativeOK(h) {
 		ceiling = LevelNative
 	}
-	if h.Compiling() || h.Level() >= ceiling {
+	if h.Compiling() {
+		return
+	}
+	if h.Level() == LevelNative {
+		qr.maybeDemote(pl, h, pr)
+		return
+	}
+	if h.Level() >= ceiling {
 		return
 	}
 	if time.Since(pr.started) < time.Millisecond {
@@ -887,6 +910,84 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 	qr.eng.pool.submit(func() { qr.compileTask(pl, h, pr, best) })
 }
 
+// demoteMargin is the fraction of the predicted native rate the measured
+// native rate must reach; below it the controller demotes out of native.
+const demoteMargin = 0.5
+
+// demoteWarmup is the number of post-install controller evaluations (one
+// per finished morsel) before the demotion check engages, so the
+// comparison sees settled rate samples, not the first morsel's cold code.
+const demoteWarmup = 3
+
+// maybeDemote checks a native pipeline against the rate the cost model
+// promised when the controller chose tier 6. The rate measured just
+// before native code was installed, scaled by the modeled speedup ratio,
+// is the prediction; native code delivering under demoteMargin of it is a
+// misprediction (e.g. an exit-heavy pipeline bouncing between machine
+// code and Go on every tuple). The controller then demotes the pipeline
+// to optimized closures, latches the native failure so tier 6 is not
+// re-proposed for this function, and counts the demotion in
+// Stats.NativeFallbacks. Runs under the evaluation gate.
+func (qr *queryRun) maybeDemote(pl *codegen.Pipeline, h *Handle, pr *progress) {
+	bits := pr.preNativeRate.Load()
+	if bits == 0 {
+		return // native came from the cache or a static mode: no baseline
+	}
+	if pr.nativeEvals.Add(1) < demoteWarmup {
+		return
+	}
+	r0 := pr.avgRate()
+	if r0 <= 0 {
+		return
+	}
+	m := qr.eng.opts.Cost
+	prev := Level(pr.preNativeLvl.Load())
+	predicted := math.Float64frombits(bits) / m.Speedup(prev) * m.SpeedupNative
+	if r0 >= predicted*demoteMargin {
+		return
+	}
+	if !h.BeginCompile() {
+		return
+	}
+	pr.preNativeRate.Store(0)
+	qr.eng.pool.submit(func() { qr.demoteTask(pl, h, pr) })
+}
+
+// demoteTask installs the optimized closure variant in place of
+// underperforming native code. Mid-morsel safety is the same
+// variant-swap argument as promotion: in-flight morsels finish in native
+// code against the same runtime state, later claims dispatch the closure
+// (§IV-E).
+func (qr *queryRun) demoteTask(pl *codegen.Pipeline, h *Handle, pr *progress) {
+	if qr.cancelled.Load() {
+		h.AbortCompile()
+		return
+	}
+	t0 := time.Now()
+	c, err := jit.CompileOpts(h.Fn, jit.Optimized, h.Prog, qr.jitOpts())
+	if err != nil {
+		h.AbortCompile()
+		qr.fail(fmt.Errorf("exec: demotion compile of %s: %w", h.Fn.Name, err))
+		pr.abort()
+		return
+	}
+	h.MarkNativeFailed()
+	qr.nativeFallbacks.Add(1)
+	h.Install(c, LevelOptimized)
+	if qr.eng.cache != nil {
+		qr.eng.cache.addCompiled(qr.fp, pl.ID, jit.Optimized, c)
+	}
+	pr.resetRates()
+	if qr.trace != nil {
+		now := time.Now()
+		// An EvNative event whose Level is not LevelNative is a demotion
+		// (aqetrace renders it as such).
+		qr.trace.Add(Event{Kind: EvNative, Pipeline: pl.ID, Label: pl.Label,
+			Worker: -1, Level: LevelOptimized, Start: qr.trace.Since(t0),
+			End: qr.trace.Since(now)})
+	}
+}
+
 // compileTask runs on a shared compile-pool worker: it (optionally) sleeps
 // the modeled LLVM-scale latency, really compiles the function, installs
 // the variant, publishes it to the cache, and resets the rate samples.
@@ -919,7 +1020,7 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 	case LevelNative:
 		level = jit.Native
 	}
-	c, err := jit.Compile(h.Fn, level, h.Prog)
+	c, err := jit.CompileOpts(h.Fn, level, h.Prog, qr.jitOpts())
 	if err != nil && l == LevelNative {
 		// Native assembly failed (unsupported op, exec-memory exhaustion):
 		// degrade this function to the optimized closure tier and latch the
@@ -928,7 +1029,7 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 		h.MarkNativeFailed()
 		qr.nativeFallbacks.Add(1)
 		l, level = LevelOptimized, jit.Optimized
-		c, err = jit.Compile(h.Fn, level, h.Prog)
+		c, err = jit.CompileOpts(h.Fn, level, h.Prog, qr.jitOpts())
 	}
 	if err != nil {
 		h.AbortCompile()
@@ -938,6 +1039,11 @@ func (qr *queryRun) compileTask(pl *codegen.Pipeline, h *Handle, pr *progress, l
 	}
 	if l == LevelNative {
 		qr.nativeCompiles.Add(1)
+		// Record the demotion baseline: the rate samples still measure the
+		// tier native is about to replace.
+		pr.preNativeRate.Store(math.Float64bits(pr.avgRate()))
+		pr.preNativeLvl.Store(int32(h.Level()))
+		pr.nativeEvals.Store(0)
 	}
 	h.Install(c, l)
 	if qr.eng.cache != nil {

@@ -51,41 +51,50 @@ func TestModeSwitchStress(t *testing.T) {
 
 	// Memoized per-handle variants (mutex-guarded: the hook runs on every
 	// worker concurrently). On platforms without a native backend the
-	// tier-6 slot reuses the optimized closure, so the flip cadence is the
-	// same everywhere.
+	// tier-6 slots reuse the optimized closure, so the flip cadence is the
+	// same everywhere. Index 3 is the register-allocating native backend,
+	// index 4 the slot-per-op one — flipping between them mid-pipeline is
+	// exactly the bit-compatibility claim the allocator's flush-at-exit
+	// invariant makes.
 	var variantMu sync.Mutex
-	variants := map[*Handle]*[3]*jit.Compiled{}
-	variantFor := func(h *Handle, level jit.Level) *jit.Compiled {
+	variants := map[*Handle]*[5]*jit.Compiled{}
+	variantFor := func(h *Handle, idx int, level jit.Level, opts jit.Options) *jit.Compiled {
 		variantMu.Lock()
 		defer variantMu.Unlock()
 		set := variants[h]
 		if set == nil {
-			set = &[3]*jit.Compiled{}
+			set = &[5]*jit.Compiled{}
 			variants[h] = set
 		}
-		if set[level] == nil {
-			c, err := jit.Compile(h.Fn, level, h.Prog)
+		if set[idx] == nil {
+			c, err := jit.CompileOpts(h.Fn, level, h.Prog, opts)
 			if err != nil {
 				panic(err)
 			}
-			set[level] = c
+			set[idx] = c
 		}
-		return set[level]
+		return set[idx]
 	}
 	var flips atomic.Int64
 	e.morselHook = func(pipeline int, h *Handle, worker int) {
-		switch flips.Add(1) % 4 {
+		switch flips.Add(1) % 5 {
 		case 0:
 			h.Install(nil, LevelBytecode)
 		case 1:
-			h.Install(variantFor(h, jit.Unoptimized), LevelUnoptimized)
+			h.Install(variantFor(h, 1, jit.Unoptimized, jit.Options{}), LevelUnoptimized)
 		case 2:
-			h.Install(variantFor(h, jit.Optimized), LevelOptimized)
+			h.Install(variantFor(h, 2, jit.Optimized, jit.Options{}), LevelOptimized)
 		case 3:
 			if asm.Supported() {
-				h.Install(variantFor(h, jit.Native), LevelNative)
+				h.Install(variantFor(h, 3, jit.Native, jit.Options{}), LevelNative)
 			} else {
-				h.Install(variantFor(h, jit.Optimized), LevelOptimized)
+				h.Install(variantFor(h, 2, jit.Optimized, jit.Options{}), LevelOptimized)
+			}
+		case 4:
+			if asm.Supported() {
+				h.Install(variantFor(h, 4, jit.Native, jit.Options{NoRegAlloc: true}), LevelNative)
+			} else {
+				h.Install(variantFor(h, 2, jit.Optimized, jit.Options{}), LevelOptimized)
 			}
 		}
 	}

@@ -22,7 +22,7 @@ const (
 	EvAdmit       // admission-queue wait (Start..End = queued interval)
 	EvCancel      // cancellation observed (instantaneous)
 	EvReplan      // mid-query reoptimization at a breaker (Tuples = observed build card)
-	EvNative      // native (tier-6) code assembled and installed
+	EvNative      // native (tier-6) install — or, when Level != LevelNative, a demotion out of native
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -161,6 +161,9 @@ func (tr *Trace) Gantt(width int) string {
 		case EvNative:
 			lane = maxWorker + 1
 			ch = 'N'
+			if ev.Level != LevelNative {
+				ch = 'V' // demotion out of native
+			}
 		case EvPhase:
 			ch = '='
 		}

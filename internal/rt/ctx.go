@@ -60,6 +60,16 @@ func (c *Ctx) PushRegs(n int) []uint64 {
 // PopRegs releases the innermost frame.
 func (c *Ctx) PopRegs() { c.depth-- }
 
+// CurRegs returns the innermost live register frame (nil when none).
+// Tests use it to inspect canonical slot state after a trap or fault
+// unwound a frame without popping it.
+func (c *Ctx) CurRegs() []uint64 {
+	if c.depth == 0 {
+		return nil
+	}
+	return c.regStack[c.depth-1]
+}
+
 // ResetRegs discards all frames; used when a trap unwinds past Push/Pop
 // pairing.
 func (c *Ctx) ResetRegs() { c.depth = 0 }
