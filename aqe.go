@@ -49,6 +49,10 @@ const (
 	// copy-and-patch template JIT (tier 6), falling back per-pipeline to
 	// the optimized closure tier on platforms without a backend.
 	ModeNative = exec.ModeNative
+	// ModeVector pins every kernel-compilable pipeline to the vectorized
+	// batch engine, falling back per-pipeline to the optimized closure
+	// tier for shapes the kernel format cannot express.
+	ModeVector = exec.ModeVector
 )
 
 // CostModel predicts compile times for the adaptive controller; see

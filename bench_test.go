@@ -14,7 +14,6 @@ import (
 	"aqe/internal/rt"
 	"aqe/internal/synth"
 	"aqe/internal/tpch"
-	"aqe/internal/vector"
 	"aqe/internal/vm"
 	"aqe/internal/volcano"
 )
@@ -150,13 +149,7 @@ func BenchmarkTable2(b *testing.B) {
 			}
 		}
 	})
-	b.Run("vector-Monet", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := vector.Run(q1()); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	b.Run("vector-Monet", func(b *testing.B) { runQuery(b, 1, exec.ModeVector, 1) })
 	for _, m := range []exec.Mode{exec.ModeBytecode, exec.ModeUnoptimized, exec.ModeOptimized} {
 		b.Run(m.String(), func(b *testing.B) { runQuery(b, 1, m, 1) })
 	}

@@ -6,7 +6,7 @@
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
 // Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
-// cache, breakers, zonemaps, dict, concurrency, joinorder, native.
+// cache, breakers, zonemaps, dict, concurrency, joinorder, native, hybrid.
 package main
 
 import (
@@ -27,7 +27,6 @@ import (
 	"aqe/internal/storage"
 	"aqe/internal/synth"
 	"aqe/internal/tpch"
-	"aqe/internal/vector"
 	"aqe/internal/vm"
 	"aqe/internal/volcano"
 )
@@ -43,7 +42,7 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|concurrency|joinorder|native|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|concurrency|joinorder|native|hybrid|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
@@ -75,6 +74,7 @@ func main() {
 	run("concurrency", concurrency)
 	run("joinorder", joinorder)
 	run("native", nativeExp)
+	run("hybrid", hybridExp)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
@@ -393,19 +393,23 @@ func table2() {
 		geoMean(geo[fmt.Sprintf("optimized.%d", *workers)]))
 }
 
-// runBaseline executes a staged query on a baseline engine.
+// runBaseline executes a staged query on a baseline engine: "pg" is the
+// tuple-at-a-time Volcano interpreter; "monet" is the morselized
+// vectorized engine pinned single-worker (ModeVector), the
+// column-at-a-time stand-in.
 func runBaseline(cat *storage.Catalog, qn int, eng string) error {
+	if eng == "monet" {
+		e := exec.New(exec.Options{Workers: 1, Mode: exec.ModeVector, Cost: exec.Native()})
+		_, err := e.Run(tpch.Query(cat, qn))
+		return err
+	}
 	q := tpch.Query(cat, qn)
 	prior := map[string]*storage.Table{}
 	for i, stg := range q.Stages {
 		node := stg.Build(prior)
 		var rows [][]aqeDatum
 		var err error
-		if eng == "pg" {
-			rows, err = volcano.Run(node)
-		} else {
-			rows, err = vector.Run(node)
-		}
+		rows, err = volcano.Run(node)
 		if err != nil {
 			return err
 		}

@@ -20,7 +20,7 @@ import (
 var (
 	qn     = flag.Int("q", 11, "TPC-H query number (1-22); 0 with -opt traces the synthetic misestimated star query")
 	sf     = flag.Float64("sf", 0.1, "scale factor")
-	mode   = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|native|adaptive")
+	mode   = flag.String("mode", "adaptive", "bytecode|unoptimized|optimized|native|vector|adaptive")
 	wrk    = flag.Int("workers", 4, "worker threads")
 	useOpt = flag.Bool("opt", false, "run the cost-based join order with adaptive replanning (queries with a logical form: 3, 5, 10)")
 	thresh = flag.Float64("replanthresh", 0, "misestimate factor that triggers a mid-query replan (0 = engine default; <=1 forces a replan check at every breaker)")
@@ -31,7 +31,7 @@ func main() {
 	m := map[string]exec.Mode{
 		"bytecode": exec.ModeBytecode, "unoptimized": exec.ModeUnoptimized,
 		"optimized": exec.ModeOptimized, "adaptive": exec.ModeAdaptive,
-		"native": exec.ModeNative,
+		"native": exec.ModeNative, "vector": exec.ModeVector,
 	}[*mode]
 	cat := tpch.Gen(*sf)
 	eng := exec.New(exec.Options{Workers: *wrk, Mode: m, Cost: exec.Paper(),
@@ -183,6 +183,26 @@ func main() {
 		}
 		fmt.Printf("  %s: machine code assembled in %.3f ms\n",
 			scope, (ev.End-ev.Start).Seconds()*1e3)
+	}
+
+	// Engine switches ('E' on the compile lane above: a promotion into the
+	// vectorized engine; 'e': a demotion back to the recorded compiled tier).
+	first = true
+	for _, ev := range merged.Events() {
+		if ev.Kind != exec.EvEngine {
+			continue
+		}
+		if first {
+			fmt.Println("\nengine switches:")
+			first = false
+		}
+		if ev.Level == exec.LevelVector {
+			fmt.Printf("  pipeline %d (%s): switched to the vectorized engine at %.3f ms\n",
+				ev.Pipeline, ev.Label, ev.Start.Seconds()*1e3)
+		} else {
+			fmt.Printf("  pipeline %d (%s): demoted back to the %s tier at %.3f ms (underperformed prediction)\n",
+				ev.Pipeline, ev.Label, ev.Level, ev.Start.Seconds()*1e3)
+		}
 	}
 
 	// Pipeline-breaker finalizations ('F' on the compile lane above).

@@ -82,6 +82,11 @@ type Pipeline struct {
 	// DictRewrites counts the string predicates and group-key hashes of
 	// this pipeline rewritten to dictionary-code operations.
 	DictRewrites int
+
+	// Vec is the engine-neutral description of this pipeline for the
+	// vectorized backend; always built, so segment and literal registration
+	// is identical whether or not a vectorized kernel is ever installed.
+	Vec *VecSpec
 }
 
 // JoinDesc mirrors the layout the generated code assumed for a join hash
@@ -482,9 +487,17 @@ func (g *cgen) newAggDesc(gb *plan.GroupBy) *aggMeta {
 				slots = []int{addSlot(rt.AggSum)}
 			}
 		case plan.Min:
-			slots = []int{addSlot(rt.AggMin)}
+			if isFloat {
+				slots = []int{addSlot(rt.AggMinF)}
+			} else {
+				slots = []int{addSlot(rt.AggMin)}
+			}
 		case plan.Max:
-			slots = []int{addSlot(rt.AggMax)}
+			if isFloat {
+				slots = []int{addSlot(rt.AggMaxF)}
+			} else {
+				slots = []int{addSlot(rt.AggMax)}
+			}
 		case plan.Count, plan.CountStar:
 			slots = []int{addSlot(rt.AggCount)}
 		case plan.Avg:

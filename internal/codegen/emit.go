@@ -241,7 +241,9 @@ func (g *cgen) emitScanPipeline(s *plan.Scan, ops []pipeOp, sk sink, label strin
 		return g.scanResolver(p, s, i)
 	}, ops, sk)
 	g.addPipeline(f, label, s.Table, -1, sk)
-	g.q.Pipelines[len(g.q.Pipelines)-1].Prune = g.extractPrune(s)
+	pl := g.q.Pipelines[len(g.q.Pipelines)-1]
+	pl.Prune = g.extractPrune(s)
+	pl.Vec = g.buildVecSpec(s, nil, nil, ops, sk)
 }
 
 func (g *cgen) scanResolver(p *pgen, s *plan.Scan, i *ir.Value) resolver {
@@ -303,6 +305,7 @@ func (g *cgen) emitPipeline(_ *storage.Table, am *aggMeta, gb *plan.GroupBy,
 		return g.groupResolver(p, am, gb, e)
 	}, ops, sk)
 	g.addPipeline(f, label, nil, am.id, sk)
+	g.q.Pipelines[len(g.q.Pipelines)-1].Vec = g.buildVecSpec(nil, am, gb, ops, sk)
 }
 
 // groupResolver resolves the GroupBy output schema against a group entry.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"aqe/internal/jit"
+	"aqe/internal/vector"
 	"aqe/internal/vm"
 )
 
@@ -39,12 +40,22 @@ type cachedPlan struct {
 	bytes      int64
 }
 
-// cachedPipe holds the artifacts of one pipeline: the bytecode program and
+// cachedPipe holds the artifacts of one pipeline: the bytecode program,
 // the compiled artifact per JIT tier (indexed by jit.Level — the native
-// slot holds the assembled machine code, so warm runs start in tier 6).
+// slot holds the assembled machine code, so warm runs start in tier 6),
+// and the vectorized kernel. Kernels are address-indirect like compiled
+// closures (column/dictionary/literal bases re-registered per run resolve
+// through the run's segment table), so fingerprint-equal plans share them.
 type cachedPipe struct {
 	prog     *vm.Program
 	compiled [3]*jit.Compiled
+	vec      *vector.Kernel
+	// vecBest records whether the most recent completed execution finished
+	// this pipeline in the vectorized engine; a warm adaptive run then
+	// starts there directly instead of re-discovering the engine choice
+	// from morsel rates (the engine analogue of starting in the best
+	// compiled tier reached earlier).
+	vecBest bool
 }
 
 // CacheStats is a snapshot of the compilation-cache counters.
@@ -122,6 +133,46 @@ func (c *planCache) addCompiled(fp Fingerprint, pipe int, level jit.Level, comp 
 	ent.bytes += n
 	c.bytes += n
 	c.evict()
+}
+
+// vecKernelBytes is the footprint estimate of a cached vectorized kernel:
+// the spec's expression trees and lookup maps are small compared to
+// bytecode programs or closure graphs.
+const vecKernelBytes = 2048
+
+// addVector attaches a vectorized kernel to a cached pipeline slot. First
+// finished compilation wins, like addCompiled.
+func (c *planCache) addVector(fp Fingerprint, pipe int, k *vector.Kernel) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[fp]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*cachedPlan)
+	if pipe >= len(ent.pipes) || ent.pipes[pipe].vec != nil {
+		return
+	}
+	ent.pipes[pipe].vec = k
+	ent.bytes += vecKernelBytes
+	c.bytes += vecKernelBytes
+	c.evict()
+}
+
+// noteEngine records the engine the most recent execution finished
+// pipeline `pipe` in (true = vectorized). Last writer wins: the memo
+// tracks the current preference, not history.
+func (c *planCache) noteEngine(fp Fingerprint, pipe int, vec bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.idx[fp]
+	if !ok {
+		return
+	}
+	ent := el.Value.(*cachedPlan)
+	if pipe < len(ent.pipes) {
+		ent.pipes[pipe].vecBest = vec
+	}
 }
 
 // evict drops LRU entries until the budget is respected. Called with the

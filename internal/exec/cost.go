@@ -41,6 +41,16 @@ type CostModel struct {
 	SpeedupOpt    float64
 	SpeedupNative float64
 
+	// SpeedupVecHash/SpeedupVecCompute are the vectorized engine's modeled
+	// throughput ratios relative to bytecode, split by pipeline character:
+	// hash-dense pipelines (probes, grouped aggregation) batch their
+	// hash-table walks and overlap cache misses, where the engine wins big;
+	// compute-dense pipelines only save interpretation overhead compiled
+	// code already eliminates. The controller picks the estimate by the
+	// pipeline's VecSpec.HashDense flag.
+	SpeedupVecHash    float64
+	SpeedupVecCompute float64
+
 	// Simulate imposes the modeled times on actual compilations.
 	Simulate bool
 }
@@ -63,10 +73,16 @@ func Paper() *CostModel {
 		// optimized machine code on the throughput axis.
 		NativeBase:     300 * time.Microsecond,
 		NativePerInstr: 1 * time.Microsecond,
-		SpeedupUnopt:   3.6,
-		SpeedupOpt:     5.0,
-		SpeedupNative:  5.5,
-		Simulate:       true,
+		SpeedupUnopt:  3.6,
+		SpeedupOpt:    5.0,
+		SpeedupNative: 5.5,
+		// In the LLVM-latency regime the vectorized engine's draw is that it
+		// needs no compilation at all: installed instantly, faster than any
+		// closure tier on hash-dense pipelines (VectorWise-style batching),
+		// merely competitive with optimized code on compute-dense ones.
+		SpeedupVecHash:    6.0,
+		SpeedupVecCompute: 2.5,
+		Simulate:          true,
 	}
 }
 
@@ -97,7 +113,14 @@ func Native() *CostModel {
 		// conservative prediction so the demotion controller (which demotes
 		// below 0.5x of prediction) tolerates the memory-bound low end.
 		SpeedupNative: 3.0,
-		Simulate:      false,
+		// Measured on this substrate (EXPERIMENTS.md hybrid table): batched
+		// probe/group walks beat the per-tuple compiled walk markedly on
+		// hash-dense pipelines, while compute-dense pipelines land near the
+		// optimized closures (typed Go loops vs fused bytecode) — below
+		// native, so the controller keeps those compiled.
+		SpeedupVecHash:    3.5,
+		SpeedupVecCompute: 1.2,
+		Simulate:          false,
 	}
 }
 

@@ -18,10 +18,10 @@ import (
 	"aqe/internal/expr"
 	"aqe/internal/plan"
 	"aqe/internal/rt"
+	"aqe/internal/rt/sink"
 	"aqe/internal/sched"
 	"aqe/internal/storage"
 	"aqe/internal/vm"
-	"aqe/internal/volcano"
 )
 
 // Mode selects how a query executes.
@@ -32,7 +32,9 @@ type Mode int
 // interpreter baseline of Fig. 2, far slower than the bytecode VM.
 // ModeNative statically pins every pipeline to the copy-and-patch
 // machine-code tier (falling back per-pipeline to optimized closures when
-// the platform or a function is unsupported).
+// the platform or a function is unsupported). ModeVector statically pins
+// every pipeline to the morsel-driven vectorized engine (falling back
+// per-pipeline to optimized closures when a pipeline has no vector plan).
 const (
 	ModeBytecode Mode = iota
 	ModeUnoptimized
@@ -40,10 +42,11 @@ const (
 	ModeAdaptive
 	ModeIRInterp
 	ModeNative
+	ModeVector
 )
 
 func (m Mode) String() string {
-	return [...]string{"bytecode", "unoptimized", "optimized", "adaptive", "ir-interp", "native"}[m]
+	return [...]string{"bytecode", "unoptimized", "optimized", "adaptive", "ir-interp", "native", "vector"}[m]
 }
 
 // Options configures an Engine.
@@ -107,6 +110,11 @@ type Options struct {
 	// closures). Cached plans carry the flag in their fingerprint so a
 	// NoNative run never reuses natively-warmed entries ambiguously.
 	NoNative bool
+	// NoVector removes the vectorized engine from the adaptive
+	// controller's choices (and makes ModeVector fall back to optimized
+	// closures). Cached plans carry the flag in their fingerprint so a
+	// NoVector run never reuses vector-warmed entries ambiguously.
+	NoVector bool
 	// NoRegAlloc forces the native tier's slot-per-op template backend
 	// instead of the register-allocating one (jit.Options.NoRegAlloc) —
 	// the ablation baseline for the allocator. Fingerprints carry the
@@ -243,6 +251,13 @@ type Stats struct {
 	NativeCompiles  int64
 	NativeMorsels   int64
 	NativeFallbacks int64
+
+	// Vectorized-engine counters: morsels dispatched to the vectorized
+	// engine, and engine switches the controller performed mid-pipeline
+	// (promotions into the vectorized engine plus demotions back to the
+	// compiled tiers).
+	VectorMorsels  int64
+	EngineSwitches int64
 
 	// Zone-map pruning: blocks/tuples skipped without dispatching, and
 	// the total source tuples of scans that carried a prune descriptor
@@ -482,6 +497,8 @@ func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string,
 		st.NativeCompiles += qr.nativeCompiles.Load()
 		st.NativeMorsels += qr.nativeMorsels.Load()
 		st.NativeFallbacks += qr.nativeFallbacks.Load()
+		st.VectorMorsels += qr.vectorMorsels.Load()
+		st.EngineSwitches += qr.engineSwitches.Load()
 		if err == nil {
 			break
 		}
@@ -510,17 +527,23 @@ func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string,
 	// top k through a bounded heap instead of a full sort.
 	if len(cq.SortKeys) > 0 {
 		if cq.Limit >= 0 {
-			rows = volcano.TopK(rows, cq.SortKeys, cq.Limit)
+			rows = sink.TopK(rows, cq.SortKeys, cq.Limit)
 		} else {
-			volcano.SortRows(rows, cq.SortKeys)
+			sink.SortRows(rows, cq.SortKeys)
 		}
 	}
 	if cq.Limit >= 0 && len(rows) > cq.Limit {
 		rows = rows[:cq.Limit]
 	}
 	st.Total = time.Since(t0)
-	for _, h := range qr.handles {
-		st.FinalLevels = append(st.FinalLevels, h.Level())
+	for i, h := range qr.handles {
+		lvl := h.Level()
+		st.FinalLevels = append(st.FinalLevels, lvl)
+		// Remember the finishing engine so the next warm adaptive run of
+		// this plan starts each pipeline there directly.
+		if e.cache != nil && e.opts.Mode == ModeAdaptive {
+			e.cache.noteEngine(qr.fp, i, lvl == LevelVector)
+		}
 	}
 	if e.cache != nil {
 		st.Cache = e.cache.stats()

@@ -25,14 +25,16 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:8]) }
 // fingerprintVersion guards the canonical encoding: bump it whenever the
 // encoding of any hashed component changes, so stale equalities cannot
 // survive a refactor within a process (and, later, on disk).
-const fingerprintVersion = 1
+const fingerprintVersion = 2
 
 // fingerprintOf hashes a code-generated query under the engine's
 // translator options. noNative runs get a distinct fingerprint so their
 // cache entries never receive (or hand out) assembled native code;
 // noRegAlloc likewise separates the two native backends so a cached
-// variant always matches the backend the engine would pick.
-func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative, noRegAlloc bool) Fingerprint {
+// variant always matches the backend the engine would pick, and noVector
+// separates entries carrying vectorized kernels from runs that must never
+// adopt one.
+func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative, noRegAlloc, noVector bool) Fingerprint {
 	h := sha256.New()
 	var hdr [16]byte
 	hdr[0] = fingerprintVersion
@@ -45,6 +47,9 @@ func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative, noRegAlloc boo
 	}
 	if noRegAlloc {
 		hdr[12] = 1
+	}
+	if noVector {
+		hdr[13] = 1
 	}
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(vopts.WindowSize))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(cq.Pipelines)))

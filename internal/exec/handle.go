@@ -7,6 +7,7 @@ import (
 	"aqe/internal/ir/interp"
 	"aqe/internal/jit"
 	"aqe/internal/rt"
+	"aqe/internal/vector"
 	"aqe/internal/vm"
 )
 
@@ -15,12 +16,17 @@ type Level int32
 
 // Execution tiers, ordered by throughput (Fig. 3). LevelNative is the
 // copy-and-patch machine-code tier (tier 6), available only where
-// asm.Supported() holds.
+// asm.Supported() holds. LevelVector is not a compilation tier of the
+// closure family but a different engine: the morsel-driven vectorized
+// backend. It sits above LevelNative numerically only so the dispatch
+// check is one comparison; the controller treats engine selection
+// separately from tier selection.
 const (
 	LevelBytecode Level = iota
 	LevelUnoptimized
 	LevelOptimized
 	LevelNative
+	LevelVector
 )
 
 func (l Level) String() string {
@@ -31,6 +37,8 @@ func (l Level) String() string {
 		return "unoptimized"
 	case LevelNative:
 		return "native"
+	case LevelVector:
+		return "vectorized"
 	default:
 		return "optimized"
 	}
@@ -56,6 +64,13 @@ type Handle struct {
 	// exec-memory failure) so the controller stops proposing the tier for
 	// this function.
 	nativeFailed atomic.Bool
+
+	// vec is the pre-staged vectorized kernel of this pipeline (nil when
+	// the pipeline has no vector plan or NoVector is set). Installing it is
+	// a level flip; the compiled variant stays on the handle so demotion
+	// out of the vectorized engine is a level flip back.
+	vec       atomic.Pointer[vector.Kernel]
+	vecFailed atomic.Bool
 }
 
 // NewHandle translates the function to bytecode and wraps it.
@@ -107,12 +122,50 @@ func (h *Handle) MarkNativeFailed() { h.nativeFailed.Store(true) }
 // NativeFailed reports whether a native compilation has failed.
 func (h *Handle) NativeFailed() bool { return h.nativeFailed.Load() }
 
+// SetVecKernel pre-stages the vectorized kernel without installing it.
+func (h *Handle) SetVecKernel(k *vector.Kernel) { h.vec.Store(k) }
+
+// VecKernel returns the pre-staged vectorized kernel, or nil.
+func (h *Handle) VecKernel() *vector.Kernel { return h.vec.Load() }
+
+// InstallVector switches the pipeline's remaining morsels to the
+// vectorized engine — the same single atomic publication as Install.
+func (h *Handle) InstallVector() {
+	h.level.Store(int32(LevelVector))
+	h.compiling.Store(false)
+}
+
+// DemoteVector switches the pipeline back to the closure-family tier it
+// ran before the vectorized engine was installed (the compiled variant is
+// still on the handle) and latches the failure so the controller stops
+// re-proposing the engine for this pipeline.
+func (h *Handle) DemoteVector(l Level) {
+	h.vecFailed.Store(true)
+	h.level.Store(int32(l))
+	h.compiling.Store(false)
+}
+
+// MarkVecFailed records that the pipeline cannot (or should not) run on
+// the vectorized engine.
+func (h *Handle) MarkVecFailed() { h.vecFailed.Store(true) }
+
+// VecFailed reports whether the vectorized engine is latched off.
+func (h *Handle) VecFailed() bool { return h.vecFailed.Load() }
+
 // Dispatch runs one morsel with the fastest available variant — the
-// paper's per-morsel dispatch code (Fig. 5).
+// paper's per-morsel dispatch code (Fig. 5), extended with the engine
+// dimension: a pipeline at LevelVector dispatches to the vectorized
+// kernel, everything else to the fastest closure-family variant.
 func (h *Handle) Dispatch(ctx *rt.Ctx, args []uint64) {
 	if h.UseIRInterp {
 		interp.Run(h.Fn, ctx, args)
 		return
+	}
+	if Level(h.level.Load()) == LevelVector {
+		if k := h.vec.Load(); k != nil {
+			k.Run(ctx, args)
+			return
+		}
 	}
 	if c := h.compiled.Load(); c != nil {
 		c.Run(ctx, args)

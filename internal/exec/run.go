@@ -14,6 +14,7 @@ import (
 	"aqe/internal/expr"
 	"aqe/internal/jit"
 	"aqe/internal/rt"
+	"aqe/internal/vector"
 	"aqe/internal/vm"
 )
 
@@ -53,6 +54,12 @@ type queryRun struct {
 	nativeCompiles  atomic.Int64
 	nativeMorsels   atomic.Int64
 	nativeFallbacks atomic.Int64
+
+	// Engine-selection counters (same snapshot argument as above):
+	// morsels dispatched to the vectorized engine and controller engine
+	// switches (vectorized installs plus demotions back).
+	vectorMorsels  atomic.Int64
+	engineSwitches atomic.Int64
 }
 
 // cancel requests cooperative termination: workers stop claiming morsels,
@@ -91,7 +98,7 @@ func (qr *queryRun) cancelCause() error {
 // is created by the caller so its origin covers the admission wait.
 func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Memory, st *Stats, tr *Trace) (*queryRun, error) {
 	qr := &queryRun{eng: e, cq: cq, mem: mem, stats: st, trace: tr}
-	qr.fp = fingerprintOf(cq, e.opts.VM, e.opts.NoNative, e.opts.NoRegAlloc)
+	qr.fp = fingerprintOf(cq, e.opts.VM, e.opts.NoNative, e.opts.NoRegAlloc, e.opts.NoVector)
 	st.Fingerprint = qr.fp.Short()
 
 	tTr := time.Now()
@@ -134,6 +141,35 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		st.FusedOps += h.Prog.Fused
 	}
 	st.Translate += time.Since(tTr)
+
+	// Pre-stage the vectorized kernel of every pipeline (adopting the
+	// cached one on a fingerprint hit). Kernel construction is cheap — no
+	// code generation, just shape validation and lookup tables — so it runs
+	// up-front; installing a kernel is a per-pipeline decision of the mode
+	// or the adaptive controller. Shapes the engine cannot execute with
+	// bit-identical semantics latch the handle's vector-failed flag.
+	if !e.opts.NoVector && e.opts.Mode != ModeIRInterp {
+		for i, pl := range cq.Pipelines {
+			var k *vector.Kernel
+			if ent != nil {
+				k = ent.pipes[i].vec
+			}
+			if k == nil {
+				kk, kerr := vector.Compile(pl.Vec)
+				if kerr == nil {
+					k = kk
+					if e.cache != nil {
+						e.cache.addVector(qr.fp, i, kk)
+					}
+				}
+			}
+			if k != nil {
+				qr.handles[i].SetVecKernel(k)
+			} else {
+				qr.handles[i].MarkVecFailed()
+			}
+		}
+	}
 
 	// Static compiled modes compile the whole module up-front,
 	// single-threaded, before execution starts (§II-A) — this is the
@@ -200,6 +236,26 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		}
 	}
 
+	// ModeVector statically pins every pipeline with a vector kernel to
+	// the vectorized engine; pipelines without one (unsupported shape, or
+	// NoVector) fall back to the optimized closure tier so the query still
+	// completes (§IV-E's degrade-don't-fail discipline, engine edition).
+	if e.opts.Mode == ModeVector {
+		tC := time.Now()
+		for i, h := range qr.handles {
+			if h.VecKernel() != nil && !h.VecFailed() {
+				h.InstallVector()
+				continue
+			}
+			c, _, cerr := qr.compiledFor(ent, i, h, jit.Optimized)
+			if cerr != nil {
+				return nil, cerr
+			}
+			h.Install(c, LevelOptimized)
+		}
+		st.Compile += time.Since(tC)
+	}
+
 	// An adaptive query that hits the cache starts every pipeline in the
 	// best tier any earlier execution reached — no re-climbing through
 	// bytecode (the controller can still upgrade unoptimized pipelines).
@@ -208,7 +264,12 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 	// pays no assemble latency at all.
 	if e.opts.Mode == ModeAdaptive && ent != nil {
 		for i, h := range qr.handles {
-			if c := ent.pipes[i].compiled[jit.Native]; c != nil && qr.nativeOK(h) {
+			if ent.pipes[i].vecBest && h.VecKernel() != nil && !h.VecFailed() {
+				// The previous execution finished this pipeline in the
+				// vectorized engine: start there. The controller still
+				// monitors morsel rates and can demote mid-query.
+				h.InstallVector()
+			} else if c := ent.pipes[i].compiled[jit.Native]; c != nil && qr.nativeOK(h) {
 				h.Install(c, LevelNative)
 			} else if c := ent.pipes[i].compiled[jit.Optimized]; c != nil {
 				h.Install(c, LevelOptimized)
@@ -431,6 +492,16 @@ type progress struct {
 	preNativeRate atomic.Uint64
 	preNativeLvl  atomic.Int32
 	nativeEvals   atomic.Int32
+
+	// Engine-demotion bookkeeping, mirroring the native fields: the rate
+	// and tier just before the vectorized engine was installed, and the
+	// evaluations since. The same promote-then-verify discipline applies
+	// to engine selection: observed morsel rates arbitrate, and a
+	// vectorized pipeline badly underperforming its prediction is demoted
+	// back to the compiled tier it left.
+	preVecRate atomic.Uint64
+	preVecLvl  atomic.Int32
+	vecEvals   atomic.Int32
 
 	// executing counts pool workers currently inside a morsel of this
 	// pipeline — the query's *granted* parallelism. Under concurrent load
@@ -811,6 +882,9 @@ func (j *pipelineJob) RunSlot(slot int) bool {
 	if lvl == LevelNative {
 		qr.nativeMorsels.Add(1)
 	}
+	if lvl == LevelVector {
+		qr.vectorMorsels.Add(1)
+	}
 	if qr.trace != nil {
 		qr.trace.Add(Event{Kind: EvMorsel, Pipeline: j.pl.ID, Label: j.pl.Label,
 			Worker: slot, Level: lvl, Start: qr.trace.Since(t0),
@@ -842,11 +916,21 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 	if h.Compiling() {
 		return
 	}
-	if h.Level() == LevelNative {
-		qr.maybeDemote(pl, h, pr)
+	if h.Level() == LevelVector {
+		qr.maybeDemoteVector(pl, h, pr)
 		return
 	}
-	if h.Level() >= ceiling {
+	if h.Level() == LevelNative {
+		qr.maybeDemote(pl, h, pr)
+		if h.Compiling() {
+			return
+		}
+		// Tier 6 is the closure family's ceiling, but the engine dimension
+		// stays open: the vectorized candidate below may still beat native
+		// on hash-dense pipelines.
+	}
+	canVec := qr.vectorOK(h)
+	if h.Level() >= ceiling && !canVec {
 		return
 	}
 	if time.Since(pr.started) < time.Millisecond {
@@ -900,14 +984,101 @@ func (qr *queryRun) evaluate(pl *codegen.Pipeline, h *Handle, pr *progress) {
 		consider(LevelNative, m.NativeTime(h.Instrs))
 	}
 
+	if canVec {
+		vecSpeed := m.SpeedupVecCompute
+		if pl.Vec != nil && pl.Vec.HashDense {
+			vecSpeed = m.SpeedupVecHash
+		}
+		// The kernel is pre-staged: installing it costs no compile time, so
+		// the engine candidate is a pure throughput comparison.
+		r := r0 / curSpeed * vecSpeed
+		if t := n / r / w; t < bestT {
+			bestT = t
+			best = LevelVector
+		}
+	}
+
 	if best == cur {
 		return
 	}
 	if !h.BeginCompile() {
 		return
 	}
+	if best == LevelVector {
+		// Engine switch: publish the kernel right here — there is nothing
+		// to compile. Record the demotion baseline first, same discipline
+		// as native promotion.
+		pr.preVecRate.Store(math.Float64bits(r0))
+		pr.preVecLvl.Store(int32(cur))
+		pr.vecEvals.Store(0)
+		h.InstallVector()
+		qr.engineSwitches.Add(1)
+		pr.resetRates()
+		if qr.trace != nil {
+			now := qr.trace.Since(time.Now())
+			qr.trace.Add(Event{Kind: EvEngine, Pipeline: pl.ID, Label: pl.Label,
+				Worker: -1, Level: LevelVector, Start: now, End: now})
+		}
+		return
+	}
 	qr.stats.Compilations++
 	qr.eng.pool.submit(func() { qr.compileTask(pl, h, pr, best) })
+}
+
+// vectorOK reports whether the vectorized engine may be proposed for h:
+// the tier is enabled, the pipeline compiled to a kernel, and no earlier
+// demotion latched the engine off.
+func (qr *queryRun) vectorOK(h *Handle) bool {
+	return !qr.eng.opts.NoVector && !h.VecFailed() && h.VecKernel() != nil
+}
+
+// vecDemoteWarmup is the number of post-install controller evaluations
+// before the engine-demotion check engages (mirrors demoteWarmup).
+const vecDemoteWarmup = 3
+
+// maybeDemoteVector checks a vectorized pipeline against the rate the
+// cost model promised when the controller switched engines. The rate
+// measured just before the switch, scaled by the modeled speedup ratio,
+// is the prediction; the engine delivering under demoteMargin of it is a
+// misprediction (e.g. a selective filter chain where batching evaluates
+// lanes compiled code would have skipped). The controller then flips the
+// pipeline back to the compiled tier it left — the variant is still on
+// the handle, so demotion costs nothing — and latches the engine off for
+// this pipeline. Runs under the evaluation gate.
+func (qr *queryRun) maybeDemoteVector(pl *codegen.Pipeline, h *Handle, pr *progress) {
+	bits := pr.preVecRate.Load()
+	if bits == 0 {
+		return // static ModeVector: no baseline, no demotion
+	}
+	if pr.vecEvals.Add(1) < vecDemoteWarmup {
+		return
+	}
+	r0 := pr.avgRate()
+	if r0 <= 0 {
+		return
+	}
+	m := qr.eng.opts.Cost
+	prev := Level(pr.preVecLvl.Load())
+	vecSpeed := m.SpeedupVecCompute
+	if pl.Vec != nil && pl.Vec.HashDense {
+		vecSpeed = m.SpeedupVecHash
+	}
+	predicted := math.Float64frombits(bits) / m.Speedup(prev) * vecSpeed
+	if r0 >= predicted*demoteMargin {
+		return
+	}
+	if !h.BeginCompile() {
+		return
+	}
+	pr.preVecRate.Store(0)
+	h.DemoteVector(prev)
+	qr.engineSwitches.Add(1)
+	pr.resetRates()
+	if qr.trace != nil {
+		now := qr.trace.Since(time.Now())
+		qr.trace.Add(Event{Kind: EvEngine, Pipeline: pl.ID, Label: pl.Label,
+			Worker: -1, Level: prev, Start: now, End: now})
+	}
 }
 
 // demoteMargin is the fraction of the predicted native rate the measured

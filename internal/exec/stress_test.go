@@ -75,9 +75,9 @@ func TestModeSwitchStress(t *testing.T) {
 		}
 		return set[idx]
 	}
-	var flips atomic.Int64
+	var flips, vecFlips atomic.Int64
 	e.morselHook = func(pipeline int, h *Handle, worker int) {
-		switch flips.Add(1) % 5 {
+		switch flips.Add(1) % 6 {
 		case 0:
 			h.Install(nil, LevelBytecode)
 		case 1:
@@ -93,6 +93,17 @@ func TestModeSwitchStress(t *testing.T) {
 		case 4:
 			if asm.Supported() {
 				h.Install(variantFor(h, 4, jit.Native, jit.Options{NoRegAlloc: true}), LevelNative)
+			} else {
+				h.Install(variantFor(h, 2, jit.Optimized, jit.Options{}), LevelOptimized)
+			}
+		case 5:
+			// The vectorized engine: flipping a pipeline between compiled
+			// closures and batch kernels mid-query is the engine-equivalence
+			// claim. Pipelines whose shape the kernel compiler rejected stay
+			// on the optimized closure.
+			if h.VecKernel() != nil {
+				vecFlips.Add(1)
+				h.InstallVector()
 			} else {
 				h.Install(variantFor(h, 2, jit.Optimized, jit.Options{}), LevelOptimized)
 			}
@@ -126,6 +137,9 @@ func TestModeSwitchStress(t *testing.T) {
 	}
 	if flips.Load() == 0 {
 		t.Fatal("morsel hook never fired")
+	}
+	if vecFlips.Load() == 0 {
+		t.Error("no morsel ever ran vectorized — kernel compilation failed for every pipeline")
 	}
 	if st := e.CacheStats(); st.Hits == 0 {
 		t.Errorf("concurrent repeats never hit the cache: %+v", st)

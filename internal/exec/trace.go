@@ -23,6 +23,7 @@ const (
 	EvCancel      // cancellation observed (instantaneous)
 	EvReplan      // mid-query reoptimization at a breaker (Tuples = observed build card)
 	EvNative      // native (tier-6) install — or, when Level != LevelNative, a demotion out of native
+	EvEngine      // engine switch: vectorized install (Level == LevelVector) or demotion back to a compiled tier
 )
 
 // Event is one entry of an execution trace (the data behind Fig. 14).
@@ -104,7 +105,7 @@ func (tr *Trace) Gantt(width int) string {
 			maxWorker = ev.Worker
 		}
 		switch ev.Kind {
-		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel, EvReplan, EvNative:
+		case EvCompile, EvFinalize, EvPrune, EvDictRewrite, EvAdmit, EvCancel, EvReplan, EvNative, EvEngine:
 			hasCompile = true
 		}
 	}
@@ -163,6 +164,12 @@ func (tr *Trace) Gantt(width int) string {
 			ch = 'N'
 			if ev.Level != LevelNative {
 				ch = 'V' // demotion out of native
+			}
+		case EvEngine:
+			lane = maxWorker + 1
+			ch = 'E'
+			if ev.Level != LevelVector {
+				ch = 'e' // demotion back to a compiled tier
 			}
 		case EvPhase:
 			ch = '='

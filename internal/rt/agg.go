@@ -11,13 +11,17 @@ import (
 type AggKind uint8
 
 // Aggregate kinds. Sum is an overflow-checked sum of scaled integers,
-// SumF a float sum, Count a counter, Min/Max signed integer extremes.
+// SumF a float sum, Count a counter, Min/Max signed integer extremes,
+// MinF/MaxF float extremes (float bit patterns are not ordered like int64
+// values for negatives, so they need their own comparison and identities).
 const (
 	AggSum AggKind = iota
 	AggSumF
 	AggCount
 	AggMin
 	AggMax
+	AggMinF
+	AggMaxF
 )
 
 // Init returns the identity bit pattern the aggregate field starts from.
@@ -27,12 +31,18 @@ func (k AggKind) Init() uint64 {
 		return uint64(math.MaxInt64)
 	case AggMax:
 		return uint64(uint64(1) << 63) // math.MinInt64 bit pattern
+	case AggMinF:
+		return math.Float64bits(math.Inf(1))
+	case AggMaxF:
+		return math.Float64bits(math.Inf(-1))
 	default:
 		return 0
 	}
 }
 
-// Combine merges src into dst, trapping on sum overflow.
+// Combine merges src into dst, trapping on sum overflow. Float extremes
+// keep dst when src is NaN — the same "comparison false keeps current"
+// behaviour the generated per-tuple FCmp update has.
 func (k AggKind) Combine(dst, src uint64) uint64 {
 	switch k {
 	case AggSum, AggCount:
@@ -45,6 +55,16 @@ func (k AggKind) Combine(dst, src uint64) uint64 {
 		return math.Float64bits(math.Float64frombits(dst) + math.Float64frombits(src))
 	case AggMin:
 		if int64(src) < int64(dst) {
+			return src
+		}
+		return dst
+	case AggMinF:
+		if math.Float64frombits(src) < math.Float64frombits(dst) {
+			return src
+		}
+		return dst
+	case AggMaxF:
+		if math.Float64frombits(src) > math.Float64frombits(dst) {
 			return src
 		}
 		return dst

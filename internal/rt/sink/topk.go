@@ -1,4 +1,4 @@
-package volcano
+package sink
 
 import (
 	"aqe/internal/expr"
@@ -26,7 +26,7 @@ func TopK(rows [][]expr.Datum, keys []plan.SortKey, k int) [][]expr.Datum {
 	// before reports whether a precedes b in the stable output order:
 	// keys first, original position as the tiebreak.
 	before := func(a, b elem) bool {
-		if c := cmpRows(a.row, b.row, keys); c != 0 {
+		if c := CmpRows(a.row, b.row, keys); c != 0 {
 			return c < 0
 		}
 		return a.idx < b.idx

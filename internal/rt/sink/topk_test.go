@@ -1,4 +1,4 @@
-package volcano
+package sink
 
 import (
 	"math/rand"

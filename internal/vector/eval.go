@@ -1,0 +1,514 @@
+package vector
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+
+	"aqe/internal/expr"
+	"aqe/internal/rt"
+)
+
+// The batch evaluator mirrors expr.Eval (and therefore the generated
+// code's trap semantics) lane for lane: the same overflow checks in the
+// same per-lane order, short-circuit AND/OR/CASE as selection narrowing so
+// an expression is evaluated for exactly the tuples compiled code would
+// evaluate it for, strings as (addr, len) references so stored values are
+// bit-identical across engines.
+
+func checkedAdd(x, y int64) int64 {
+	r := x + y
+	if (x^r)&(y^r) < 0 {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+func checkedSub(x, y int64) int64 {
+	r := x - y
+	if (x^y)&(x^r) < 0 {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+func checkedMul(x, y int64) int64 {
+	r := x * y
+	if x != 0 && ((x == -1 && y == math.MinInt64) || r/x != y) {
+		rt.Throw(rt.TrapOverflow)
+	}
+	return r
+}
+
+func scaleOf(t expr.Type) int {
+	if t.Kind == expr.KDecimal {
+		return t.Scale
+	}
+	return 0
+}
+
+// eval evaluates e over the lanes of sel (a subset of fr.sel); the result
+// column is valid at exactly those lanes.
+func (rc *runCtx) eval(e expr.Expr, fr *frame, sel []int32) *col {
+	switch x := e.(type) {
+	case *expr.ColRef:
+		return fr.col(rc, x.Idx)
+	case *expr.Const:
+		return rc.constCol(x, fr, sel)
+	case *expr.Arith:
+		return rc.evalArith(x, fr, sel)
+	case *expr.Cmp:
+		return rc.evalCmp(x, fr, sel)
+	case *expr.Logic:
+		return rc.evalLogic(x, fr, sel)
+	case *expr.NotExpr:
+		v := rc.eval(x.Arg, fr, sel)
+		out := rc.newCol()
+		o := out.ints(fr.n)
+		for _, k := range sel {
+			if v.i[k] != 0 {
+				o[k] = 0
+			} else {
+				o[k] = 1
+			}
+		}
+		return out
+	case *expr.LikeExpr:
+		v := rc.eval(x.Arg, fr, sel)
+		out := rc.newCol()
+		o := out.ints(fr.n)
+		for _, k := range sel {
+			m := x.Compiled.Match(rc.str(v.sa[k], v.sl[k]))
+			if x.Negate {
+				m = !m
+			}
+			o[k] = b2i(m)
+		}
+		return out
+	case *expr.InList:
+		return rc.evalInList(x, fr, sel)
+	case *expr.CaseExpr:
+		return rc.evalCase(x, fr, sel)
+	case *expr.YearExpr:
+		v := rc.eval(x.Arg, fr, sel)
+		out := rc.newCol()
+		o := out.ints(fr.n)
+		for _, k := range sel {
+			o[k] = rt.YearOfDays(v.i[k])
+		}
+		return out
+	case *expr.SubstrExpr:
+		v := rc.eval(x.Arg, fr, sel)
+		out := rc.newCol()
+		sa, sl := out.strs(fr.n)
+		from0, ln := int64(x.From-1), int64(x.Len)
+		for _, k := range sel {
+			l := v.sl[k]
+			from, end := from0, from0+ln
+			if from > l {
+				from = l
+			}
+			if end > l {
+				end = l
+			}
+			sa[k] = v.sa[k] + uint64(from)
+			sl[k] = end - from
+		}
+		return out
+	case *expr.CastExpr:
+		return rc.evalCast(x, fr, sel)
+	}
+	panic(fmt.Sprintf("vector: cannot evaluate %T", e))
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (rc *runCtx) constCol(x *expr.Const, fr *frame, sel []int32) *col {
+	out := rc.newCol()
+	switch x.T.Kind {
+	case expr.KString:
+		lit, ok := rc.kern.spec.StrLits[x.S]
+		if !ok {
+			panic("vector: string literal not interned: " + x.S)
+		}
+		sa, sl := out.strs(fr.n)
+		for _, k := range sel {
+			sa[k], sl[k] = lit[0], int64(lit[1])
+		}
+	case expr.KFloat:
+		f := out.floats(fr.n)
+		for _, k := range sel {
+			f[k] = x.F
+		}
+	default:
+		o := out.ints(fr.n)
+		for _, k := range sel {
+			o[k] = x.I
+		}
+	}
+	return out
+}
+
+// toF converts a numeric column to floats at the sel lanes (expr.toF).
+func (rc *runCtx) toF(c *col, t expr.Type, n int, sel []int32) []float64 {
+	if t.Kind == expr.KFloat {
+		return c.f
+	}
+	out := rc.newCol().floats(n)
+	if t.Kind == expr.KDecimal {
+		d := float64(pow10(t.Scale))
+		for _, k := range sel {
+			out[k] = float64(c.i[k]) / d
+		}
+	} else {
+		for _, k := range sel {
+			out[k] = float64(c.i[k])
+		}
+	}
+	return out
+}
+
+func (rc *runCtx) evalArith(x *expr.Arith, fr *frame, sel []int32) *col {
+	l := rc.eval(x.L, fr, sel)
+	r := rc.eval(x.R, fr, sel)
+	lt, rtt := x.L.Type(), x.R.Type()
+	out := rc.newCol()
+	if x.T.Kind == expr.KFloat {
+		lf := rc.toF(l, lt, fr.n, sel)
+		rf := rc.toF(r, rtt, fr.n, sel)
+		o := out.floats(fr.n)
+		switch x.Op {
+		case expr.OpAdd:
+			for _, k := range sel {
+				o[k] = lf[k] + rf[k]
+			}
+		case expr.OpSub:
+			for _, k := range sel {
+				o[k] = lf[k] - rf[k]
+			}
+		case expr.OpMul:
+			for _, k := range sel {
+				o[k] = lf[k] * rf[k]
+			}
+		default:
+			for _, k := range sel {
+				o[k] = lf[k] / rf[k]
+			}
+		}
+		return out
+	}
+	o := out.ints(fr.n)
+	switch x.Op {
+	case expr.OpAdd, expr.OpSub:
+		// Static decimal-scale unification; the rescale multiply is
+		// overflow-checked exactly like expr.unifyScales.
+		ls, rs := scaleOf(lt), scaleOf(rtt)
+		var lm, rm int64 = 1, 1
+		if ls < rs {
+			lm = pow10(rs - ls)
+		} else if ls > rs {
+			rm = pow10(ls - rs)
+		}
+		sub := x.Op == expr.OpSub
+		for _, k := range sel {
+			li, ri := l.i[k], r.i[k]
+			if lm != 1 {
+				li = checkedMul(li, lm)
+			}
+			if rm != 1 {
+				ri = checkedMul(ri, rm)
+			}
+			if sub {
+				o[k] = checkedSub(li, ri)
+			} else {
+				o[k] = checkedAdd(li, ri)
+			}
+		}
+	case expr.OpMul:
+		for _, k := range sel {
+			o[k] = checkedMul(l.i[k], r.i[k])
+		}
+	default: // OpDiv: int/int or decimal/int
+		for _, k := range sel {
+			ri := r.i[k]
+			if ri == 0 {
+				rt.Throw(rt.TrapDivZero)
+			}
+			li := l.i[k]
+			if li == math.MinInt64 && ri == -1 {
+				rt.Throw(rt.TrapOverflow)
+			}
+			o[k] = li / ri
+		}
+	}
+	return out
+}
+
+func cmpRes(op expr.CmpOp, cm int) int64 {
+	var res bool
+	switch op {
+	case expr.CmpEq:
+		res = cm == 0
+	case expr.CmpNe:
+		res = cm != 0
+	case expr.CmpLt:
+		res = cm < 0
+	case expr.CmpLe:
+		res = cm <= 0
+	case expr.CmpGt:
+		res = cm > 0
+	default:
+		res = cm >= 0
+	}
+	return b2i(res)
+}
+
+func (rc *runCtx) evalCmp(x *expr.Cmp, fr *frame, sel []int32) *col {
+	l := rc.eval(x.L, fr, sel)
+	r := rc.eval(x.R, fr, sel)
+	lt, rtt := x.L.Type(), x.R.Type()
+	out := rc.newCol()
+	o := out.ints(fr.n)
+	switch {
+	case lt.Kind == expr.KString:
+		for _, k := range sel {
+			cm := bytes.Compare(rc.str(l.sa[k], l.sl[k]), rc.str(r.sa[k], r.sl[k]))
+			o[k] = cmpRes(x.Op, cm)
+		}
+	case lt.Kind == expr.KFloat || rtt.Kind == expr.KFloat:
+		lf := rc.toF(l, lt, fr.n, sel)
+		rf := rc.toF(r, rtt, fr.n, sel)
+		for _, k := range sel {
+			var cm int
+			switch {
+			case lf[k] == rf[k]:
+				cm = 0
+			case lf[k] < rf[k]:
+				cm = -1
+			default:
+				cm = 1
+			}
+			o[k] = cmpRes(x.Op, cm)
+		}
+	default:
+		ls, rs := scaleOf(lt), scaleOf(rtt)
+		var lm, rm int64 = 1, 1
+		if ls < rs {
+			lm = pow10(rs - ls)
+		} else if ls > rs {
+			rm = pow10(ls - rs)
+		}
+		for _, k := range sel {
+			li, ri := l.i[k], r.i[k]
+			if lm != 1 {
+				li = checkedMul(li, lm)
+			}
+			if rm != 1 {
+				ri = checkedMul(ri, rm)
+			}
+			var cm int
+			switch {
+			case li == ri:
+				cm = 0
+			case li < ri:
+				cm = -1
+			default:
+				cm = 1
+			}
+			o[k] = cmpRes(x.Op, cm)
+		}
+	}
+	return out
+}
+
+// evalLogic short-circuits by selection narrowing: argument j is evaluated
+// only for the lanes still undecided after arguments 0..j-1, matching the
+// per-row short-circuit of interpreted and compiled evaluation.
+func (rc *runCtx) evalLogic(x *expr.Logic, fr *frame, sel []int32) *col {
+	out := rc.newCol()
+	o := out.ints(fr.n)
+	if x.IsAnd {
+		for _, k := range sel {
+			o[k] = 0
+		}
+		cur := sel
+		for _, a := range x.Args {
+			if len(cur) == 0 {
+				break
+			}
+			v := rc.eval(a, fr, cur)
+			nxt := rc.selBuf(len(cur))
+			for _, k := range cur {
+				if v.i[k] != 0 {
+					nxt = append(nxt, k)
+				}
+			}
+			cur = nxt
+		}
+		for _, k := range cur {
+			o[k] = 1
+		}
+		return out
+	}
+	for _, k := range sel {
+		o[k] = 1
+	}
+	cur := sel
+	for _, a := range x.Args {
+		if len(cur) == 0 {
+			break
+		}
+		v := rc.eval(a, fr, cur)
+		nxt := rc.selBuf(len(cur))
+		for _, k := range cur {
+			if v.i[k] == 0 {
+				nxt = append(nxt, k)
+			}
+		}
+		cur = nxt
+	}
+	for _, k := range cur {
+		o[k] = 0
+	}
+	return out
+}
+
+func (rc *runCtx) evalInList(x *expr.InList, fr *frame, sel []int32) *col {
+	arg := rc.eval(x.Arg, fr, sel)
+	out := rc.newCol()
+	o := out.ints(fr.n)
+	if x.Arg.Type().Kind == expr.KString {
+		for _, k := range sel {
+			s := rc.str(arg.sa[k], arg.sl[k])
+			hit := int64(0)
+			for _, c := range x.List {
+				if string(s) == c.S {
+					hit = 1
+					break
+				}
+			}
+			o[k] = hit
+		}
+		return out
+	}
+	for _, k := range sel {
+		hit := int64(0)
+		for _, c := range x.List {
+			if arg.i[k] == c.I {
+				hit = 1
+				break
+			}
+		}
+		o[k] = hit
+	}
+	return out
+}
+
+// scatter copies the sel lanes of src into dst (same representation).
+func scatter(dst, src *col, sel []int32) {
+	switch dst.kind {
+	case kStr:
+		for _, k := range sel {
+			dst.sa[k], dst.sl[k] = src.sa[k], src.sl[k]
+		}
+	case kFloat:
+		for _, k := range sel {
+			dst.f[k] = src.f[k]
+		}
+	default:
+		for _, k := range sel {
+			dst.i[k] = src.i[k]
+		}
+	}
+}
+
+// evalCase evaluates arms lazily: each WHEN condition sees only the lanes
+// no earlier arm took, each THEN/ELSE only the lanes its arm decides.
+func (rc *runCtx) evalCase(x *expr.CaseExpr, fr *frame, sel []int32) *col {
+	out := rc.newCol()
+	switch x.T.Kind {
+	case expr.KString:
+		out.strs(fr.n)
+	case expr.KFloat:
+		out.floats(fr.n)
+	default:
+		out.ints(fr.n)
+	}
+	pending := sel
+	for _, w := range x.Whens {
+		if len(pending) == 0 {
+			break
+		}
+		cv := rc.eval(w.Cond, fr, pending)
+		hit := rc.selBuf(len(pending))
+		miss := rc.selBuf(len(pending))
+		for _, k := range pending {
+			if cv.i[k] != 0 {
+				hit = append(hit, k)
+			} else {
+				miss = append(miss, k)
+			}
+		}
+		if len(hit) > 0 {
+			scatter(out, rc.eval(w.Then, fr, hit), hit)
+		}
+		pending = miss
+	}
+	if len(pending) > 0 {
+		scatter(out, rc.eval(x.Else, fr, pending), pending)
+	}
+	return out
+}
+
+func (rc *runCtx) evalCast(x *expr.CastExpr, fr *frame, sel []int32) *col {
+	d := rc.eval(x.Arg, fr, sel)
+	from := x.Arg.Type()
+	switch x.T.Kind {
+	case expr.KFloat:
+		if from.Kind == expr.KFloat {
+			return d
+		}
+		out := rc.newCol()
+		f := out.floats(fr.n)
+		if from.Kind == expr.KDecimal {
+			div := float64(pow10(from.Scale))
+			for _, k := range sel {
+				f[k] = float64(d.i[k]) / div
+			}
+		} else {
+			for _, k := range sel {
+				f[k] = float64(d.i[k])
+			}
+		}
+		return out
+	case expr.KDecimal:
+		fromScale := 0
+		if from.Kind == expr.KDecimal {
+			fromScale = from.Scale
+		}
+		diff := x.T.Scale - fromScale
+		if diff == 0 {
+			return d
+		}
+		out := rc.newCol()
+		o := out.ints(fr.n)
+		if diff > 0 {
+			m := pow10(diff)
+			for _, k := range sel {
+				o[k] = checkedMul(d.i[k], m)
+			}
+		} else {
+			m := pow10(-diff)
+			for _, k := range sel {
+				o[k] = d.i[k] / m
+			}
+		}
+		return out
+	}
+	panic("vector: unsupported cast to " + x.T.String())
+}

@@ -8,11 +8,11 @@ package volcano
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"aqe/internal/expr"
 	"aqe/internal/plan"
 	"aqe/internal/rt"
+	"aqe/internal/rt/sink"
 	"aqe/internal/storage"
 )
 
@@ -252,9 +252,17 @@ func AggSlots(aggs []plan.AggExpr) []rt.AggKind {
 				out = append(out, rt.AggSum)
 			}
 		case plan.Min:
-			out = append(out, rt.AggMin)
+			if a.Arg.Type().Kind == expr.KFloat {
+				out = append(out, rt.AggMinF)
+			} else {
+				out = append(out, rt.AggMin)
+			}
 		case plan.Max:
-			out = append(out, rt.AggMax)
+			if a.Arg.Type().Kind == expr.KFloat {
+				out = append(out, rt.AggMaxF)
+			} else {
+				out = append(out, rt.AggMax)
+			}
 		case plan.Count, plan.CountStar:
 			out = append(out, rt.AggCount)
 		case plan.Avg:
@@ -362,7 +370,8 @@ func (g *groupIter) next() ([]expr.Datum, bool) {
 		default:
 			v := st.aggs[slot]
 			slot++
-			if a.Func == plan.Sum && a.Arg.Type().Kind == expr.KFloat {
+			isFloat := a.Arg != nil && a.Arg.Type().Kind == expr.KFloat
+			if isFloat && (a.Func == plan.Sum || a.Func == plan.Min || a.Func == plan.Max) {
 				out = append(out, expr.Datum{F: floatFromBits(v)})
 			} else {
 				out = append(out, expr.Datum{I: int64(v)})
@@ -389,13 +398,13 @@ func (o *orderIter) open() {
 		o.rows = append(o.rows, row)
 	}
 	if o.o.Limit >= 0 {
-		o.rows = TopK(o.rows, o.o.Keys, o.o.Limit)
+		o.rows = sink.TopK(o.rows, o.o.Keys, o.o.Limit)
 		if len(o.rows) > o.o.Limit {
 			o.rows = o.rows[:o.o.Limit]
 		}
 		return
 	}
-	SortRows(o.rows, o.o.Keys)
+	sink.SortRows(o.rows, o.o.Keys)
 }
 
 func (o *orderIter) next() ([]expr.Datum, bool) {
@@ -407,67 +416,18 @@ func (o *orderIter) next() ([]expr.Datum, bool) {
 	return r, true
 }
 
-// SortRows sorts decoded rows by the given keys (shared with the compiled
-// engine, which sorts materialized results the same way).
-func SortRows(rows [][]expr.Datum, keys []plan.SortKey) {
-	sort.SliceStable(rows, func(i, j int) bool {
-		return cmpRows(rows[i], rows[j], keys) < 0
-	})
-}
-
-// cmpRows compares two decoded rows by the sort keys (Desc keys
-// reversed), returning -1/0/1.
-func cmpRows(a, b []expr.Datum, keys []plan.SortKey) int {
-	for _, k := range keys {
-		av := expr.Eval(k.E, a)
-		bv := expr.Eval(k.E, b)
-		c := compareDatum(av, bv, k.E.Type())
-		if c != 0 {
-			if k.Desc {
-				c = -c
-			}
-			return c
-		}
-	}
-	return 0
-}
-
-func compareDatum(a, b expr.Datum, t expr.Type) int {
-	switch t.Kind {
-	case expr.KFloat:
-		switch {
-		case a.F < b.F:
-			return -1
-		case a.F > b.F:
-			return 1
-		}
-		return 0
-	case expr.KString:
-		switch {
-		case a.S < b.S:
-			return -1
-		case a.S > b.S:
-			return 1
-		}
-		return 0
-	default:
-		switch {
-		case a.I < b.I:
-			return -1
-		case a.I > b.I:
-			return 1
-		}
-		return 0
-	}
-}
-
 // DecToFloat converts a scaled decimal to float.
 func DecToFloat(v int64, t expr.Type) float64 {
 	f := float64(v)
-	if t.Kind == expr.KDecimal {
+	if t.Kind == expr.KDecimal && t.Scale > 0 {
+		// One division by the whole scale factor, not one per digit: the
+		// compiled engines divide once, and repeated division differs in
+		// the last ulp (visible in rounded differential comparisons).
+		p := int64(1)
 		for i := 0; i < t.Scale; i++ {
-			f /= 10
+			p *= 10
 		}
+		f /= float64(p)
 	}
 	return f
 }

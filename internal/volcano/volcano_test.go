@@ -5,6 +5,7 @@ import (
 
 	"aqe/internal/expr"
 	"aqe/internal/plan"
+	"aqe/internal/rt/sink"
 	"aqe/internal/storage"
 )
 
@@ -115,7 +116,7 @@ func TestJoinKindsSmall(t *testing.T) {
 
 func TestSortRowsStability(t *testing.T) {
 	rows := [][]expr.Datum{{{I: 2}, {I: 0}}, {{I: 1}, {I: 1}}, {{I: 2}, {I: 2}}, {{I: 1}, {I: 3}}}
-	SortRows(rows, []plan.SortKey{{E: expr.Col(0, expr.TInt)}})
+	sink.SortRows(rows, []plan.SortKey{{E: expr.Col(0, expr.TInt)}})
 	// Stable: equal keys keep insertion order (by second column).
 	want := []int64{1, 3, 0, 2}
 	for i, r := range rows {
