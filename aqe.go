@@ -104,10 +104,27 @@ type Options struct {
 	// arrivals wait in a FIFO admission queue (Stats.Queued/WaitTime).
 	// Default 8.
 	MaxConcurrent int
+	// MaxConcurrentPerTenant additionally caps concurrent queries per
+	// tenant (0 = unlimited): a tenant at its quota queues even while
+	// global capacity is free, and never holds up other tenants.
+	MaxConcurrentPerTenant int
+	// TenantWeights sets fair-share weights for the worker pool (default
+	// 1 per tenant): under contention a tenant's morsels are granted
+	// workers in proportion to its weight.
+	TenantWeights map[string]int
 	// PoolWorkers sizes the shared worker pool all in-flight queries
 	// draw from (default GOMAXPROCS).
 	PoolWorkers int
+	// MorselCap bounds geometric morsel growth (default 65536 tuples).
+	// A morsel is the unit of preemption: under concurrent load no query
+	// waits for the pool longer than one in-flight morsel, so a service
+	// tuned for tail latency lowers the cap to trade a little dispatch
+	// amortization for a tighter worst-case wait.
+	MorselCap int64
 }
+
+// Query re-exports the multi-stage plan query type used by Exec.
+type Query = plan.Query
 
 // Result is a materialized query result (see exec.Result).
 type Result = exec.Result
@@ -134,7 +151,10 @@ func Open(opts Options) *DB {
 		SerialFinalize: opts.SerialFinalize, NoJoinFilter: opts.NoJoinFilter,
 		FilterStats: opts.FilterStats, NoZoneMaps: opts.NoZoneMaps,
 		NoDict: opts.NoDict, MaxConcurrent: opts.MaxConcurrent,
-		PoolWorkers: opts.PoolWorkers}
+		MaxConcurrentPerTenant: opts.MaxConcurrentPerTenant,
+		TenantWeights:          opts.TenantWeights,
+		PoolWorkers:            opts.PoolWorkers,
+		MorselCap:              opts.MorselCap}
 	if eopts.Mode == 0 && opts.Cost == nil {
 		eopts.Mode = ModeAdaptive
 	}

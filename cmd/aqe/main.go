@@ -2,6 +2,8 @@
 //
 //	aqe -sf 0.05 -mode adaptive -maxq 4
 //	aqe> SELECT l_returnflag, count(*) FROM lineitem GROUP BY l_returnflag
+//	aqe> PREPARE big AS SELECT count(*) FROM orders WHERE o_totalprice > $1
+//	aqe> EXECUTE big (150000.00)
 //	aqe> \bg SELECT count(*) FROM lineitem, orders WHERE l_orderkey = o_orderkey
 //	aqe> \jobs
 //	aqe> \cancel 1
@@ -51,11 +53,14 @@ func main() {
 		"native": aqe.ModeNative, "vector": aqe.ModeVector,
 	}[*mode]
 	db := aqe.Open(aqe.Options{Workers: *wrk, Mode: m, MaxConcurrent: *maxq})
+	sess := db.NewSession("")
 	fmt.Printf("loading TPC-H at SF %g...\n", *sf)
 	db.LoadTPCH(*sf)
 	fmt.Printf("ready (%s mode, admission cap %d). Tables: %s\n", *mode, *maxq,
 		strings.Join(db.Catalog().Names(), ", "))
-	fmt.Println(`type SQL, "\q" to quit, "\tpch N" to run TPC-H query N,`)
+	fmt.Println(`type SQL (PREPARE name AS ... / EXECUTE name (args) / DEALLOCATE name`)
+	fmt.Println(`manage prepared statements), "\q" to quit, "\tpch N" to run TPC-H query N,`)
+	fmt.Println(`"\prepared" to list prepared statements,`)
 	fmt.Println(`"\bg SQL" to run in background, "\jobs" to list, "\cancel N" to stop one`)
 
 	var mu sync.Mutex
@@ -98,6 +103,14 @@ func main() {
 		case line == "":
 		case line == `\q`:
 			return
+		case line == `\prepared`:
+			names := sess.Prepared()
+			if len(names) == 0 {
+				fmt.Println("no prepared statements")
+			}
+			for _, n := range names {
+				fmt.Println("  " + n)
+			}
 		case line == `\jobs`:
 			mu.Lock()
 			if len(jobs) == 0 {
@@ -141,7 +154,7 @@ func main() {
 			mu.Unlock()
 			go func() {
 				defer cancel()
-				j.res, j.err = db.ExecSQLCtx(ctx, sql)
+				j.res, j.err = sess.Exec(ctx, sql)
 				close(j.done)
 			}()
 			fmt.Printf("job %d started\n", j.id)
@@ -158,7 +171,7 @@ func main() {
 			show(res, err)
 		default:
 			ctx, cancel := stmtCtx()
-			res, err := db.ExecSQLCtx(ctx, line)
+			res, err := sess.Exec(ctx, line)
 			cancel()
 			show(res, err)
 		}
@@ -178,6 +191,10 @@ func show(res *aqe.Result, err error) {
 		if res != nil && res.Stats.Cancelled {
 			fmt.Printf("(cancelled after %v)\n", res.Stats.Total)
 		}
+		return
+	}
+	if len(res.Cols) == 0 && len(res.Rows) == 0 {
+		fmt.Println("ok")
 		return
 	}
 	fmt.Print(aqe.FormatRows(res, 25))

@@ -6,7 +6,8 @@
 //	aqebench -exp fig13 -maxsf 1 # the SF sweep up to SF 1
 //
 // Experiments: fig2, fig6, fig13, fig14, fig15, table1, table2, regalloc,
-// cache, breakers, zonemaps, dict, concurrency, joinorder, native, hybrid.
+// cache, breakers, zonemaps, dict, concurrency, joinorder, native, hybrid,
+// service (open-loop wire-protocol load with per-tenant fair-share).
 package main
 
 import (
@@ -42,12 +43,13 @@ func mustCompile(node plan.Node, mem *rt.Memory, name string) *codegen.Query {
 }
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|concurrency|joinorder|native|hybrid|all")
+	expFlag   = flag.String("exp", "all", "experiment: fig2|fig6|fig13|fig14|fig15|table1|table2|regalloc|cache|breakers|zonemaps|dict|concurrency|joinorder|native|hybrid|service|all")
 	sfFlag    = flag.Float64("sf", 0.1, "TPC-H scale factor for single-scale experiments")
 	maxSfFlag = flag.Float64("maxsf", 0.3, "largest scale factor of the fig13 sweep")
 	workers   = flag.Int("workers", 4, "worker threads")
 	cacheFlag = flag.Int64("cache", 64<<20, "plan-cache byte budget for the cache experiment (0 disables)")
 	durFlag   = flag.Duration("dur", 1500*time.Millisecond, "measurement window per client count in the concurrency experiment")
+	qpsFlag   = flag.Float64("qps", 60, "per-tenant open-loop arrival rate for the service experiment")
 )
 
 func main() {
@@ -75,6 +77,7 @@ func main() {
 	run("joinorder", joinorder)
 	run("native", nativeExp)
 	run("hybrid", hybridExp)
+	run("service", serviceExp)
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -91,7 +91,7 @@ func arithPlan(sf float64) (plan.Node, int64) {
 	e3 := expr.Sub(expr.Mul(e1, expr.Int(5)), expr.Div(e2, expr.Int(3)))
 	// Scale each aggregate input down so the Sum over millions of tuples
 	// stays inside int64 (the per-tuple chains reach ~1e15).
-	shrink := func(e expr.Expr) expr.Expr { return expr.Div(e, expr.Int(1 << 20)) }
+	shrink := func(e expr.Expr) expr.Expr { return expr.Div(e, expr.Int(1<<20)) }
 	node := plan.NewGroupBy(s, nil, nil,
 		[]plan.AggExpr{
 			{Func: plan.Sum, Arg: shrink(e1), Name: "s1"},

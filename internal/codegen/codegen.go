@@ -8,7 +8,9 @@
 package codegen
 
 import (
+	"encoding/binary"
 	"fmt"
+	"math"
 
 	"aqe/internal/expr"
 	"aqe/internal/ir"
@@ -36,6 +38,18 @@ type Query struct {
 	// bytes actually interned (the fingerprint hashes only this prefix).
 	Literals []byte
 	LitLen   int
+
+	// Params describes the prepared-statement parameters referenced by
+	// the plan, indexed by parameter number ($1 is index 0). ParamSeg is
+	// the segment generated code loads them from: one 16-byte slot per
+	// parameter (scalar at +0; strings: address at +0, length at +8,
+	// bytes appended after the slot array), installed per execution by
+	// BindParams. Parameter values live only in the segment — never in
+	// the IR — so executions that differ only in bindings share a module,
+	// a fingerprint, compiled tiers and vectorized kernels.
+	Params    []expr.Type
+	ParamSeg  []byte
+	ParamBase uint64
 
 	// Output describes how to decode the result rows of the final
 	// pipeline; Sort/Limit apply to the decoded rows.
@@ -129,6 +143,15 @@ type OutCol struct {
 // litCap is the capacity of the string literal segment.
 const litCap = 1 << 20
 
+// Parameter segment layout: maxParams 16-byte slots followed by the
+// string heap bound parameter strings copy into.
+const (
+	maxParams    = 64
+	paramSlot    = 16
+	paramHeapCap = 1 << 16
+	paramSegCap  = maxParams*paramSlot + paramHeapCap
+)
+
 // Options selects optional code-generation features. The generated IR
 // differs per option set, so cached plans keyed by IR fingerprint never
 // collide across option values.
@@ -167,6 +190,14 @@ func CompileOpts(root plan.Node, mem *rt.Memory, name string, opts Options) (*Qu
 	g.q = &Query{Module: g.mod, Limit: -1}
 	g.q.Literals = make([]byte, litCap)
 	g.litBase = mem.AddSegment(g.q.Literals)
+	// The parameter segment registers unconditionally (even for plans
+	// without parameters) so segment numbering — and therefore every
+	// embedded base address — is identical across all plans, which cached
+	// closures and kernels rely on.
+	g.q.ParamSeg = make([]byte, paramSegCap)
+	g.paramBase = mem.AddSegment(g.q.ParamSeg)
+	g.q.ParamBase = g.paramBase
+	g.collectParams(root)
 
 	if ob, ok := root.(*plan.OrderBy); ok {
 		g.q.SortKeys = ob.Keys
@@ -209,9 +240,10 @@ type cgen struct {
 	heapBase map[*storage.Column]uint64
 	codeBase map[*storage.Dict]uint64
 
-	litBase uint64
-	litOff  int
-	litIdx  map[string]int64
+	litBase   uint64
+	litOff    int
+	litIdx    map[string]int64
+	paramBase uint64
 
 	patternIdx map[string]int
 
@@ -257,6 +289,122 @@ func (g *cgen) internPattern(p string) int {
 	g.q.Patterns = append(g.q.Patterns, p)
 	g.patternIdx[p] = id
 	return id
+}
+
+// collectParams records the type of every parameter the plan references,
+// sized by the highest index, so the plan's parameter descriptors (count
+// and types — the fingerprint input) are complete before any pipeline is
+// emitted.
+func (g *cgen) collectParams(root plan.Node) {
+	visitE := func(e expr.Expr) {
+		walkExpr(e, func(x expr.Expr) {
+			if p, ok := x.(*expr.Param); ok {
+				if p.Idx >= maxParams {
+					panic(fmt.Sprintf("codegen: parameter $%d exceeds the %d-parameter limit", p.Idx+1, maxParams))
+				}
+				for len(g.q.Params) <= p.Idx {
+					g.q.Params = append(g.q.Params, expr.Type{})
+				}
+				g.q.Params[p.Idx] = p.T
+			}
+		})
+	}
+	var visit func(n plan.Node)
+	visit = func(n plan.Node) {
+		switch x := n.(type) {
+		case *plan.Scan:
+			visitE(x.Filter)
+		case *plan.Filter:
+			visitE(x.Cond)
+		case *plan.Project:
+			for _, e := range x.Exprs {
+				visitE(e)
+			}
+		case *plan.Join:
+			for _, e := range x.BuildKeys {
+				visitE(e)
+			}
+			for _, e := range x.ProbeKeys {
+				visitE(e)
+			}
+			visitE(x.Residual)
+		case *plan.GroupBy:
+			for _, e := range x.Keys {
+				visitE(e)
+			}
+			for _, a := range x.Aggs {
+				visitE(a.Arg)
+			}
+		case *plan.OrderBy:
+			for _, k := range x.Keys {
+				visitE(k.E)
+			}
+		}
+		for _, c := range n.Children() {
+			visit(c)
+		}
+	}
+	visit(root)
+}
+
+// genParam emits the typed load of parameter idx from its slot in the
+// parameter segment. The loads are address-indirect like every other
+// segment access, so fingerprint-cached closures and kernels read the
+// current execution's bindings.
+func (g *cgen) genParam(b *ir.Builder, idx int, t expr.Type) expr.Val {
+	base := b.ConstI64(int64(g.paramBase))
+	off := int64(idx * paramSlot)
+	switch t.Kind {
+	case expr.KFloat:
+		return expr.Val{X: b.Load(ir.F64, b.GEP(base, nil, 0, off))}
+	case expr.KString:
+		addr := b.Load(ir.I64, b.GEP(base, nil, 0, off))
+		n := b.Load(ir.I64, b.GEP(base, nil, 0, off+8))
+		return expr.Val{X: addr, Len: n}
+	case expr.KBool:
+		v := b.Load(ir.I64, b.GEP(base, nil, 0, off))
+		return expr.Val{X: b.ICmp(ir.Ne, v, b.ConstI64(0))}
+	default:
+		return expr.Val{X: b.Load(ir.I64, b.GEP(base, nil, 0, off))}
+	}
+}
+
+// BindParams installs the execution's parameter values into the parameter
+// segment. It runs before every execution of a parameterized query
+// (CompileOpts allocates a fresh segment per run); the value types must
+// match the plan's descriptors — the fingerprint hashes the descriptors,
+// so a mismatch means the caller bound values the plan was not built for.
+func (q *Query) BindParams(vals []*expr.Const) error {
+	if len(vals) != len(q.Params) {
+		return fmt.Errorf("codegen: statement wants %d parameter(s), got %d",
+			len(q.Params), len(vals))
+	}
+	heap := maxParams * paramSlot
+	for i, v := range vals {
+		if v == nil {
+			return fmt.Errorf("codegen: parameter $%d is unbound", i+1)
+		}
+		if v.T != q.Params[i] {
+			return fmt.Errorf("codegen: parameter $%d is %s, plan wants %s",
+				i+1, v.T, q.Params[i])
+		}
+		off := i * paramSlot
+		switch v.T.Kind {
+		case expr.KFloat:
+			binary.LittleEndian.PutUint64(q.ParamSeg[off:], math.Float64bits(v.F))
+		case expr.KString:
+			if heap+len(v.S) > len(q.ParamSeg) {
+				return fmt.Errorf("codegen: parameter strings exceed %d bytes", paramHeapCap)
+			}
+			copy(q.ParamSeg[heap:], v.S)
+			binary.LittleEndian.PutUint64(q.ParamSeg[off:], q.ParamBase+uint64(heap))
+			binary.LittleEndian.PutUint64(q.ParamSeg[off+8:], uint64(len(v.S)))
+			heap += len(v.S)
+		default:
+			binary.LittleEndian.PutUint64(q.ParamSeg[off:], uint64(v.I))
+		}
+	}
+	return nil
 }
 
 func (g *cgen) tableBase(c *storage.Column) uint64 {

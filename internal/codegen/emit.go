@@ -165,7 +165,8 @@ func (g *cgen) emitWorker(label string, mkRes func(p *pgen, i *ir.Value) resolve
 	b := ir.NewBuilder(f)
 	p := &pgen{g: g, f: f, b: b, state: f.Params[0], local: f.Params[1]}
 	p.cg = &expr.CG{B: b, Pattern: g.internPattern, StrLit: g.internLit,
-		OnDictRewrite: g.noteDictRewrite}
+		OnDictRewrite: g.noteDictRewrite,
+		Param:         func(idx int, t expr.Type) expr.Val { return g.genParam(b, idx, t) }}
 	g.pipeRewrites = 0
 
 	entry := b.B

@@ -40,6 +40,12 @@ type VecSpec struct {
 	// the compiled tiers embed — stored string references must compare
 	// bit-identical across engines.
 	StrLits map[string][2]uint64
+
+	// ParamBase is the base address of the query's parameter segment
+	// (Query.ParamSeg). Kernels evaluate expr.Param by loading the slot
+	// through the run's segment table, so a fingerprint-cached kernel
+	// reads the current execution's bindings exactly like cached closures.
+	ParamBase uint64
 }
 
 // VecScan is a table-scan source: per-column storage kind and the base
@@ -139,7 +145,7 @@ type VecOut struct {
 func (g *cgen) buildVecSpec(scan *plan.Scan, am *aggMeta, gb *plan.GroupBy,
 	ops []pipeOp, sk sink) *VecSpec {
 
-	sp := &VecSpec{}
+	sp := &VecSpec{ParamBase: g.paramBase}
 
 	// dicts tracks, per column of the current schema, the dictionary codegen
 	// would see through its dictResolver chain — the aggSink hash rewrite is

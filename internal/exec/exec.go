@@ -65,6 +65,15 @@ type Options struct {
 	// the cap wait in a FIFO admission queue and report the wait in
 	// Stats.WaitTime (default 8).
 	MaxConcurrent int
+	// MaxConcurrentPerTenant additionally caps concurrently admitted
+	// queries per tenant (0 = no per-tenant cap): a tenant at its quota
+	// queues even while global capacity is free, and never blocks other
+	// tenants' admissions behind it.
+	MaxConcurrentPerTenant int
+	// TenantWeights assigns fair-share weights for pool-worker picking
+	// (default 1 per tenant): under contention a tenant's morsels receive
+	// workers in proportion to its weight.
+	TenantWeights map[string]int
 	// Mode is the execution mode (default ModeAdaptive).
 	Mode Mode
 	// Cost is the compile-cost model (default Paper()).
@@ -183,7 +192,9 @@ func New(opts Options) *Engine {
 	e := &Engine{opts: opts, reg: rt.NewRegistry(),
 		pool: newCompilePool(opts.CompileWorkers),
 		sched: sched.New(sched.Options{PoolWorkers: opts.PoolWorkers,
-			MaxQueries: opts.MaxConcurrent})}
+			MaxQueries:   opts.MaxConcurrent,
+			MaxPerTenant: opts.MaxConcurrentPerTenant,
+			Weights:      opts.TenantWeights})}
 	if opts.CacheBytes > 0 {
 		e.cache = newPlanCache(opts.CacheBytes)
 	}
@@ -280,6 +291,10 @@ type Stats struct {
 	Fingerprint string
 	CacheHit    bool
 	Cache       CacheStats
+
+	// Tenant is the identity the query was admitted under ("" when the
+	// caller ran outside any tenant).
+	Tenant string
 }
 
 // Result is a materialized query result.
@@ -364,11 +379,18 @@ func (e *Engine) Run(q plan.Query) (*Result, error) {
 // between stages and, inside each stage, at every morsel boundary and
 // finalize partition.
 func (e *Engine) RunCtx(ctx context.Context, q plan.Query) (*Result, error) {
+	return e.RunCtxOpts(ctx, q, RunOpts{})
+}
+
+// RunCtxOpts is RunCtx under per-execution options; every stage admits
+// and schedules under opts.Tenant. Multi-stage plan queries carry no
+// prepared-statement parameters, so opts.Params must be nil.
+func (e *Engine) RunCtxOpts(ctx context.Context, q plan.Query, opts RunOpts) (*Result, error) {
 	prior := make(map[string]*storage.Table)
 	var last *Result
 	for i, st := range q.Stages {
 		node := st.Build(prior)
-		res, err := e.RunPlanCtx(ctx, node, fmt.Sprintf("%s/%s", q.Name, st.Name))
+		res, err := e.RunPlanOpts(ctx, node, fmt.Sprintf("%s/%s", q.Name, st.Name), opts)
 		if err != nil {
 			return res, fmt.Errorf("%s stage %q: %w", q.Name, st.Name, err)
 		}
@@ -402,6 +424,30 @@ func (e *Engine) RunPlanCtx(ctx context.Context, node plan.Node, name string) (*
 // plan rp returns (hash tables rebuilt from base tables; observations and
 // the admission slot kept). A nil rp runs the plan as given.
 func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string, rp Replanner) (*Result, error) {
+	return e.RunPlanOpts(ctx, node, name, RunOpts{Replan: rp})
+}
+
+// RunOpts carries the per-execution inputs of RunPlanOpts that are not
+// part of the plan itself.
+type RunOpts struct {
+	// Tenant is the identity the query is admitted and scheduled under:
+	// it counts against the tenant's MaxConcurrentPerTenant quota, its
+	// pool workers are granted by fair-share weight, and the per-tenant
+	// admission counters are charged to it. "" runs outside any tenant.
+	Tenant string
+	// Params are the bound values of the plan's prepared-statement
+	// parameters, by index ($1 = Params[0]). Required exactly when the
+	// plan contains expr.Param nodes; counts and types must match.
+	Params []*expr.Const
+	// Replan enables mid-query reoptimization (see RunPlanReplan).
+	Replan Replanner
+}
+
+// RunPlanOpts is the fully-general single-plan entry point: RunPlanCtx
+// plus tenant identity, prepared-statement parameter bindings, and
+// mid-query reoptimization.
+func (e *Engine) RunPlanOpts(ctx context.Context, node plan.Node, name string, opts RunOpts) (*Result, error) {
+	rp := opts.Replan
 	t0 := time.Now()
 	if err := ctx.Err(); err != nil {
 		return &Result{Stats: Stats{Cancelled: true}},
@@ -411,15 +457,16 @@ func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string,
 	if e.opts.Trace {
 		tr = NewTrace()
 	}
-	wait, queued, err := e.sched.Admit(ctx)
+	wait, queued, err := e.sched.AdmitTenant(ctx, opts.Tenant)
 	if err != nil {
-		st := Stats{WaitTime: wait, Queued: queued, Cancelled: true, Total: time.Since(t0)}
+		st := Stats{WaitTime: wait, Queued: queued, Cancelled: true,
+			Tenant: opts.Tenant, Total: time.Since(t0)}
 		return &Result{Stats: st},
 			fmt.Errorf("exec: query %q cancelled while queued (waited %v): %w", name, wait, err)
 	}
-	defer e.sched.Release()
+	defer e.sched.ReleaseTenant(opts.Tenant)
 	var st Stats
-	st.WaitTime, st.Queued = wait, queued
+	st.WaitTime, st.Queued, st.Tenant = wait, queued, opts.Tenant
 	if tr != nil && queued {
 		tr.Add(Event{Kind: EvAdmit, Pipeline: -1, Worker: -1, Label: name,
 			Start: 0, End: tr.Since(time.Now())})
@@ -472,6 +519,15 @@ func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string,
 		st.Pipelines = len(cq.Pipelines)
 		st.DictRewrites = cq.DictRewrites
 		st.DictHits = cq.DictHits
+		// Install the parameter bindings into this attempt's parameter
+		// segment. Codegen (and thus binding) reruns on every execution;
+		// only translate/compile/kernels are served from the cache, so a
+		// cached plan still reads fresh values through the segment table.
+		if len(cq.Params) > 0 || len(opts.Params) > 0 {
+			if err := cq.BindParams(opts.Params); err != nil {
+				return nil, fmt.Errorf("exec: query %q: %w", name, err)
+			}
+		}
 
 		qr, err = e.newQueryRun(ctx, cq, mem, &st, tr)
 		if err != nil {
@@ -480,6 +536,7 @@ func (e *Engine) RunPlanReplan(ctx context.Context, node plan.Node, name string,
 			}
 			return nil, err
 		}
+		qr.tenant = opts.Tenant
 		qr.reopt = ro
 		// The cancellation watcher flips the query's atomic flag the
 		// moment ctx dies; every claim loop and finalize partition polls

@@ -25,7 +25,17 @@ func (f Fingerprint) Short() string { return hex.EncodeToString(f[:8]) }
 // fingerprintVersion guards the canonical encoding: bump it whenever the
 // encoding of any hashed component changes, so stale equalities cannot
 // survive a refactor within a process (and, later, on disk).
-const fingerprintVersion = 2
+//
+// v3 added the parameter descriptors of prepared statements: parameter
+// *slots* (count, type, decimal scale) are hashed, parameter *values*
+// never are — they live in the run's parameter segment, outside the
+// module — so every binding of one statement shares a single cache entry,
+// while a change of parameter type or arity re-keys it. Fixed literals
+// and LIKE patterns keep hashing by content as in v2: their values are
+// baked into cached vector-kernel specs (IN-list strings, compiled
+// patterns), so slot-hashing them would alias plans whose cached kernels
+// compute different results.
+const fingerprintVersion = 3
 
 // fingerprintOf hashes a code-generated query under the engine's
 // translator options. noNative runs get a distinct fingerprint so their
@@ -74,6 +84,13 @@ func fingerprintOf(cq *codegen.Query, vopts vm.Options, noNative, noRegAlloc, no
 		binary.LittleEndian.PutUint32(n[:], uint32(len(p)))
 		h.Write(n[:])
 		h.Write([]byte(p))
+	}
+	// Parameter descriptors: slots, not values (see fingerprintVersion).
+	var pn [4]byte
+	binary.LittleEndian.PutUint32(pn[:], uint32(len(cq.Params)))
+	h.Write(pn[:])
+	for _, t := range cq.Params {
+		h.Write([]byte{byte(t.Kind), byte(t.Scale)})
 	}
 	var fp Fingerprint
 	h.Sum(fp[:0])

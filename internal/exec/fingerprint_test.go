@@ -118,6 +118,47 @@ func TestFingerprintChangedLiteralAndPattern(t *testing.T) {
 	}
 }
 
+// fpParamPlan is fpPlan with the filter threshold as parameter $1 (and
+// optionally a second char parameter on o_status).
+func fpParamPlan(t0 expr.Type, second bool) plan.Node {
+	s := plan.NewScan(ordersT, "o_total", "o_status")
+	sch := s.Schema()
+	cond := expr.Gt(plan.C(sch, "o_total"), expr.ParamRef(0, t0))
+	if second {
+		cond = expr.And(cond,
+			expr.Eq(plan.C(sch, "o_status"), expr.ParamRef(1, expr.TChar)))
+	}
+	s.Where(cond)
+	return plan.NewGroupBy(s,
+		[]expr.Expr{plan.C(sch, "o_status")}, []string{"st"},
+		[]plan.AggExpr{{Func: plan.Sum, Arg: plan.C(sch, "o_total"), Name: "s"}})
+}
+
+func TestFingerprintParamSlots(t *testing.T) {
+	// Parameter *slots* are hashed, values never: a parameterized plan's
+	// fingerprint is independent of bindings by construction (the values
+	// live in the run's parameter segment, outside the module), so every
+	// binding shares one cache entry. Changing the slot — its type, its
+	// decimal scale, or the arity — must re-key the plan.
+	a := fpOf(t, fpParamPlan(expr.TDec(2), false), vm.Options{})
+	b := fpOf(t, fpParamPlan(expr.TDec(2), false), vm.Options{})
+	if a != b {
+		t.Fatalf("same parameterized plan fingerprints differ: %s vs %s", a.Short(), b.Short())
+	}
+	if c := fpOf(t, fpPlan(50000), vm.Options{}); c == a {
+		t.Fatal("parameterized and constant plans share a fingerprint")
+	}
+	if d := fpOf(t, fpParamPlan(expr.TDec(3), false), vm.Options{}); d == a {
+		t.Fatal("changed parameter scale did not change the fingerprint")
+	}
+	if e := fpOf(t, fpParamPlan(expr.TInt, false), vm.Options{}); e == a {
+		t.Fatal("changed parameter type did not change the fingerprint")
+	}
+	if f := fpOf(t, fpParamPlan(expr.TDec(2), true), vm.Options{}); f == a {
+		t.Fatal("changed parameter arity did not change the fingerprint")
+	}
+}
+
 func TestFingerprintTranslatorOptions(t *testing.T) {
 	// Programs depend on the translator configuration, so the fingerprint
 	// must separate them: a cache shared across configs would hand a

@@ -27,6 +27,10 @@ type queryRun struct {
 	stats *Stats
 	fp    Fingerprint
 
+	// tenant is the identity the query was admitted under; the shared
+	// pool grants its morsel workers by the tenant's fair-share weight.
+	tenant string
+
 	handles    []*Handle
 	queryStart *vm.Program
 	ctxs       []*rt.Ctx // per worker slot
@@ -101,7 +105,6 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 	qr.fp = fingerprintOf(cq, e.opts.VM, e.opts.NoNative, e.opts.NoRegAlloc, e.opts.NoVector)
 	st.Fingerprint = qr.fp.Short()
 
-	tTr := time.Now()
 	var ent *cachedPlan
 	if e.cache != nil {
 		if ent = e.cache.lookup(qr.fp); ent != nil && len(ent.pipes) != len(cq.Pipelines) {
@@ -109,12 +112,16 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		}
 	}
 	if ent != nil {
+		// Adopting the cached translation is a few map lookups, not
+		// translation work: Stats.Translate stays zero so warm executions
+		// (every prepared-statement EXECUTE after the first) report none.
 		st.CacheHit = true
 		qr.queryStart = ent.queryStart
 		for i, pl := range cq.Pipelines {
 			qr.handles = append(qr.handles, HandleFor(pl.Fn, ent.pipes[i].prog))
 		}
 	} else {
+		tTr := time.Now()
 		var progs []*vm.Program
 		for _, pl := range cq.Pipelines {
 			h, err := NewHandle(pl.Fn, e.opts.VM)
@@ -132,6 +139,7 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		if e.cache != nil {
 			e.cache.insert(qr.fp, qsProg, progs)
 		}
+		st.Translate += time.Since(tTr)
 	}
 	for _, h := range qr.handles {
 		h.UseIRInterp = e.opts.Mode == ModeIRInterp
@@ -140,7 +148,6 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 		}
 		st.FusedOps += h.Prog.Fused
 	}
-	st.Translate += time.Since(tTr)
 
 	// Pre-stage the vectorized kernel of every pipeline (adopting the
 	// cached one on a fingerprint hit). Kernel construction is cheap — no
@@ -225,7 +232,11 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 				return nil, context.Cause(ctx)
 			}
 		}
-		st.Compile += time.Since(tC)
+		// Adopting cached closures costs nothing; only fresh compilation
+		// counts, so warm runs report zero compile time.
+		if compiledAny {
+			st.Compile += time.Since(tC)
+		}
 		if qr.trace != nil {
 			kind := EvCompile
 			if e.opts.Mode == ModeNative {
@@ -242,18 +253,24 @@ func (e *Engine) newQueryRun(ctx context.Context, cq *codegen.Query, mem *rt.Mem
 	// completes (§IV-E's degrade-don't-fail discipline, engine edition).
 	if e.opts.Mode == ModeVector {
 		tC := time.Now()
+		freshAny := false
 		for i, h := range qr.handles {
 			if h.VecKernel() != nil && !h.VecFailed() {
 				h.InstallVector()
 				continue
 			}
-			c, _, cerr := qr.compiledFor(ent, i, h, jit.Optimized)
+			c, fresh, cerr := qr.compiledFor(ent, i, h, jit.Optimized)
 			if cerr != nil {
 				return nil, cerr
 			}
+			if fresh {
+				freshAny = true
+			}
 			h.Install(c, LevelOptimized)
 		}
-		st.Compile += time.Since(tC)
+		if freshAny {
+			st.Compile += time.Since(tC)
+		}
 	}
 
 	// An adaptive query that hits the cache starts every pipeline in the
@@ -652,7 +669,7 @@ func (qr *queryRun) runPipeline(id int) {
 		// blocks until the pipeline drains. Under concurrent load the pool
 		// interleaves this pipeline's morsels with every other in-flight
 		// query's at morsel granularity.
-		qr.eng.sched.Run(newPipelineJob(qr, pl, h, pr))
+		qr.eng.sched.RunTenant(newPipelineJob(qr, pl, h, pr), qr.tenant)
 	}
 	qr.checkFailed()
 	// Finalize the sink between pipelines. By default the breaker work
@@ -783,7 +800,7 @@ func (qr *queryRun) pfor(n int, fn func(p int)) {
 		return
 	}
 	j := &pforJob{qr: qr, n: n, slots: workers, fn: fn}
-	qr.eng.sched.Run(j)
+	qr.eng.sched.RunTenant(j, qr.tenant)
 	if t := j.trapped.Load(); t != nil {
 		panic(t)
 	}

@@ -47,6 +47,10 @@ type CG struct {
 	// StrLit interns a string literal in the literal segment, returning
 	// its (address, length).
 	StrLit func(s string) (int64, int64)
+	// Param emits the load of prepared-statement parameter idx from the
+	// query's parameter segment. Required only when the plan contains
+	// Param nodes.
+	Param func(idx int, t Type) Val
 
 	// Dict returns the order-preserving dictionary of input column idx, or
 	// nil when the column is not dictionary-encoded in the current context
@@ -183,6 +187,11 @@ func (cg *CG) Gen(e Expr) Val {
 		default:
 			return Val{X: b.ConstI64(x.I)}
 		}
+	case *Param:
+		if cg.Param == nil {
+			panic("expr: parameter outside a parameterized query")
+		}
+		return cg.Param(x.Idx, x.T)
 	case *Arith:
 		return cg.genArith(x)
 	case *Cmp:

@@ -71,6 +71,10 @@ func Eval(e Expr, row []Datum) Datum {
 		return row[x.Idx]
 	case *Const:
 		return Datum{I: x.I, F: x.F, S: x.S}
+	case *Param:
+		// The interpreter never sees parameters: binders substitute the
+		// bound value before any interpreted path (sort keys, baselines).
+		panic(fmt.Sprintf("expr: unbound parameter $%d", x.Idx+1))
 	case *Arith:
 		return evalArith(x, row)
 	case *Cmp:

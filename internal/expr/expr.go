@@ -90,6 +90,18 @@ type Const struct {
 
 func (c *Const) Type() Type { return c.T }
 
+// Param references prepared-statement parameter Idx ($1 is Idx 0). Unlike
+// a Const, its value is not part of the expression tree: generated code
+// loads it from the query's parameter segment at execution time, so plans
+// that differ only in parameter values share IR — and therefore share a
+// plan-cache fingerprint, compiled tiers and vectorized kernels.
+type Param struct {
+	Idx int
+	T   Type
+}
+
+func (p *Param) Type() Type { return p.T }
+
 // ArithOp is an arithmetic operator.
 type ArithOp uint8
 
@@ -231,6 +243,14 @@ func Str(s string) Expr { return &Const{T: TString, S: s} }
 
 // Ch returns a char literal.
 func Ch(c byte) Expr { return &Const{T: TChar, I: int64(c)} }
+
+// ParamRef returns a parameter reference of the given type.
+func ParamRef(idx int, t Type) Expr {
+	if idx < 0 {
+		panic("expr: negative parameter index")
+	}
+	return &Param{Idx: idx, T: t}
+}
 
 // Bool returns a boolean literal.
 func Bool(b bool) Expr {
@@ -470,6 +490,8 @@ func format(sb *strings.Builder, e Expr) {
 		default:
 			fmt.Fprintf(sb, "%d", x.I)
 		}
+	case *Param:
+		fmt.Fprintf(sb, "$%d", x.Idx+1)
 	case *Arith:
 		sb.WriteByte('(')
 		format(sb, x.L)

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"aqe/internal/expr"
+)
+
+// Client is a binary-protocol client connection. It is not safe for
+// concurrent use — the protocol is strictly request/response, like one
+// database session.
+type Client struct {
+	c        net.Conn
+	br       *bufio.Reader
+	bw       *bufio.Writer
+	maxFrame int
+}
+
+// ClientResult is a fully received query result.
+type ClientResult struct {
+	Cols  []string
+	Types []expr.Type
+	Rows  [][]expr.Datum
+	Stats WireStats
+}
+
+// Dial connects to a binary-protocol listener and, if tenant is
+// non-empty, performs the Hello handshake.
+func Dial(addr, tenant string) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	cl := &Client{c: c, br: bufio.NewReader(c), bw: bufio.NewWriter(c),
+		maxFrame: DefaultMaxFrame}
+	if tenant != "" {
+		var f frameBuf
+		f.str16(tenant)
+		if err := cl.ack(MsgHello, f.b); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return cl, nil
+}
+
+// Close tears the connection down.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// ack sends one frame and expects an OK.
+func (cl *Client) ack(typ byte, payload []byte) error {
+	if err := cl.send(typ, payload); err != nil {
+		return err
+	}
+	rt, rp, err := readFrame(cl.br, cl.maxFrame)
+	if err != nil {
+		return err
+	}
+	switch rt {
+	case MsgOK:
+		return nil
+	case MsgError:
+		return fmt.Errorf("%s", rp)
+	default:
+		return fmt.Errorf("server: unexpected frame 0x%02x awaiting ack", rt)
+	}
+}
+
+func (cl *Client) send(typ byte, payload []byte) error {
+	if err := writeFrame(cl.bw, typ, payload); err != nil {
+		return err
+	}
+	return cl.bw.Flush()
+}
+
+// Query runs a SQL statement (timeout 0 = server default).
+func (cl *Client) Query(sql string, timeout time.Duration) (*ClientResult, error) {
+	var f frameBuf
+	f.u32(int(timeout.Milliseconds()))
+	f.b = append(f.b, sql...)
+	if err := cl.send(MsgQuery, f.b); err != nil {
+		return nil, err
+	}
+	return cl.recvResult()
+}
+
+// TPCH runs TPC-H query n from the server's built-in plan set.
+func (cl *Client) TPCH(n int, timeout time.Duration) (*ClientResult, error) {
+	var f frameBuf
+	f.u32(int(timeout.Milliseconds()))
+	f.u32(n)
+	if err := cl.send(MsgTPCH, f.b); err != nil {
+		return nil, err
+	}
+	return cl.recvResult()
+}
+
+// Prepare registers a named parameterized statement on this connection's
+// session.
+func (cl *Client) Prepare(name, sql string) error {
+	var f frameBuf
+	f.str16(name)
+	f.b = append(f.b, sql...)
+	return cl.ack(MsgPrepare, f.b)
+}
+
+// Execute runs a prepared statement; args are SQL literals ("42",
+// "'BUILDING'", "DATE '1994-01-01'").
+func (cl *Client) Execute(name string, args []string, timeout time.Duration) (*ClientResult, error) {
+	var f frameBuf
+	f.u32(int(timeout.Milliseconds()))
+	f.str16(name)
+	f.u16(len(args))
+	for _, a := range args {
+		f.str32(a)
+	}
+	if err := cl.send(MsgExecute, f.b); err != nil {
+		return nil, err
+	}
+	return cl.recvResult()
+}
+
+// Deallocate drops a prepared statement.
+func (cl *Client) Deallocate(name string) error {
+	var f frameBuf
+	f.str16(name)
+	return cl.ack(MsgDeallocate, f.b)
+}
+
+// recvResult collects Cols + Rows* + Done into a ClientResult.
+func (cl *Client) recvResult() (*ClientResult, error) {
+	res := &ClientResult{}
+	sawCols := false
+	for {
+		typ, payload, err := readFrame(cl.br, cl.maxFrame)
+		if err != nil {
+			return nil, err
+		}
+		switch typ {
+		case MsgError:
+			return nil, fmt.Errorf("%s", payload)
+		case MsgCols:
+			if res.Cols, res.Types, err = decodeCols(payload); err != nil {
+				return nil, err
+			}
+			sawCols = true
+		case MsgRows:
+			if !sawCols {
+				return nil, fmt.Errorf("server: Rows frame before Cols")
+			}
+			rows, err := decodeRows(payload, res.Types)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, rows...)
+		case MsgDone:
+			ws, err := decodeDone(payload)
+			if err != nil {
+				return nil, err
+			}
+			res.Stats = *ws
+			return res, nil
+		default:
+			return nil, fmt.Errorf("server: unexpected frame 0x%02x in result stream", typ)
+		}
+	}
+}

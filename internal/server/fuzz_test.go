@@ -1,0 +1,155 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"aqe"
+)
+
+// fuzzEnv is a shared tiny server: fuzz iterations are cheap, the
+// TPC-H load is not.
+type fuzzEnv struct {
+	db  *aqe.DB
+	srv *Server
+	mu  sync.Mutex // serialize iterations so the ticket-leak check is exact
+}
+
+var (
+	fuzzOnce sync.Once
+	fuzzE    *fuzzEnv
+)
+
+func fuzzEnvGet() *fuzzEnv {
+	fuzzOnce.Do(func() {
+		db := aqe.Open(aqe.Options{Workers: 2})
+		db.LoadTPCH(0.001)
+		fuzzE = &fuzzEnv{db: db, srv: New(Options{
+			DB:             db,
+			MaxFrame:       1 << 16, // small cap: oversized-frame path is hit often
+			DefaultTimeout: 2 * time.Second,
+		})}
+	})
+	return fuzzE
+}
+
+// checkNoTicketLeak verifies the admission gate returned to idle: a
+// request that errored, panicked, or was malformed must still release
+// its ticket.
+func checkNoTicketLeak(t *testing.T, db *aqe.DB) {
+	t.Helper()
+	if st := db.Engine().SchedStats(); st.Running != 0 || st.Waiting != 0 {
+		t.Fatalf("admission tickets leaked: running=%d waiting=%d", st.Running, st.Waiting)
+	}
+}
+
+// FuzzServerRequest throws arbitrary bytes at the HTTP endpoint as a
+// request body: malformed JSON, valid JSON with hostile field values,
+// SQL fragments. The handler must never panic, never hang past the
+// deadline, and never leak an admission ticket.
+func FuzzServerRequest(f *testing.F) {
+	f.Add([]byte(`{"sql":"SELECT count(*) AS n FROM region"}`))
+	f.Add([]byte(`{"sql":"PREPARE p AS SELECT count(*) AS n FROM region WHERE r_regionkey > $1"}`))
+	f.Add([]byte(`{"sql":"EXECUTE p (1)"}`))
+	f.Add([]byte(`{"sql":"EXECUTE nosuch (1,2,3)"}`))
+	f.Add([]byte(`{"sql":"DEALLOCATE p"}`))
+	f.Add([]byte(`{"tpch":1}`))
+	f.Add([]byte(`{"tpch":-5}`))
+	f.Add([]byte(`{"tpch":99999999}`))
+	f.Add([]byte(`{"sql":"SELECT`))
+	f.Add([]byte(`{"sql": 123}`))
+	f.Add([]byte(`{"sql":"SELECT * FROM lineitem","timeout_ms":-1}`))
+	f.Add([]byte(`{"tenant":"` + string(bytes.Repeat([]byte("x"), 300)) + `"}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	env := fuzzEnvGet()
+	handler := env.srv.Handler()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env.mu.Lock()
+		defer env.mu.Unlock()
+		req := httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(data))
+		rec := httptest.NewRecorder()
+		handler.ServeHTTP(rec, req) // must not panic
+		checkNoTicketLeak(t, env.db)
+	})
+}
+
+// fuzzFrame assembles a well-formed frame for the seed corpus.
+func fuzzFrame(typ byte, payload []byte) []byte {
+	out := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(out, uint32(1+len(payload)))
+	out[4] = typ
+	copy(out[5:], payload)
+	return out
+}
+
+// FuzzBinaryFrame feeds arbitrary byte streams to a binary-protocol
+// connection: truncated frames, oversized length prefixes, unknown
+// types, hostile Execute argument counts, and bogus prepared names. The
+// connection handler must never panic, must terminate once the client
+// closes, and must never leak an admission ticket.
+func FuzzBinaryFrame(f *testing.F) {
+	var hello frameBuf
+	hello.str16("fuzz")
+	f.Add(fuzzFrame(MsgHello, hello.b))
+	var q frameBuf
+	q.u32(100)
+	q.b = append(q.b, "SELECT count(*) AS n FROM region"...)
+	f.Add(fuzzFrame(MsgQuery, q.b))
+	var tq frameBuf
+	tq.u32(100)
+	tq.u32(1)
+	f.Add(fuzzFrame(MsgTPCH, tq.b))
+	var prep frameBuf
+	prep.str16("p")
+	prep.b = append(prep.b, "SELECT count(*) AS n FROM region WHERE r_regionkey > $1"...)
+	f.Add(fuzzFrame(MsgPrepare, prep.b))
+	var ex frameBuf
+	ex.u32(100)
+	ex.str16("p")
+	ex.u16(1)
+	ex.str32("42")
+	f.Add(fuzzFrame(MsgExecute, ex.b))
+	var exBogus frameBuf
+	exBogus.u32(0)
+	exBogus.str16("nosuch")
+	exBogus.u16(65535) // hostile argc
+	f.Add(fuzzFrame(MsgExecute, exBogus.b))
+	f.Add(fuzzFrame(MsgDeallocate, []byte{0x01, 0x00, 'p'}))
+	f.Add(fuzzFrame(0x7f, []byte("unknown type")))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, MsgQuery})       // oversized length
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})                 // zero length
+	f.Add([]byte{0x05, 0x00, 0x00, 0x00, MsgQuery, 0x01}) // truncated payload
+	f.Add(fuzzFrame(MsgQuery, nil))                       // missing timeout field
+	env := fuzzEnvGet()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env.mu.Lock()
+		defer env.mu.Unlock()
+		clientEnd, serverEnd := net.Pipe()
+		bc := &binConn{c: serverEnd, br: bufio.NewReader(serverEnd),
+			bw: bufio.NewWriter(serverEnd), sess: env.db.NewSession("fuzz")}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			env.srv.serveConn(bc) // must not panic
+		}()
+		go io.Copy(io.Discard, clientEnd) // drain server responses
+		clientEnd.SetWriteDeadline(time.Now().Add(3 * time.Second))
+		clientEnd.Write(data)
+		clientEnd.Close()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("connection handler hung after client close")
+		}
+		checkNoTicketLeak(t, env.db)
+	})
+}

@@ -1,0 +1,321 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aqe"
+	"aqe/internal/exec"
+)
+
+// Options configures a Server.
+type Options struct {
+	// DB is the database the server fronts (required).
+	DB *aqe.DB
+	// MaxFrame caps a single binary-protocol frame in either direction
+	// (default 16 MiB).
+	MaxFrame int
+	// DefaultTimeout bounds requests that carry no deadline of their own
+	// (0 = unbounded).
+	DefaultTimeout time.Duration
+	// ChunkRows is the streaming chunk size: rows per NDJSON line / Rows
+	// frame (default 256).
+	ChunkRows int
+}
+
+// Server serves a DB over HTTP/JSON and the binary protocol. Zero or
+// more listeners of each kind may be attached; Shutdown drains them all
+// gracefully (in-flight queries finish, new work is refused).
+type Server struct {
+	db   *aqe.DB
+	opts Options
+
+	mu       sync.Mutex
+	sessions map[string]*aqe.Session // HTTP prepared statements, per tenant
+	conns    map[*binConn]struct{}
+	httpSrvs []*http.Server
+	binLns   []net.Listener
+
+	draining atomic.Bool
+	binWG    sync.WaitGroup // binary connection handlers
+}
+
+// New creates a server for the given database.
+func New(opts Options) *Server {
+	if opts.DB == nil {
+		panic("server: Options.DB is required")
+	}
+	if opts.MaxFrame <= 0 {
+		opts.MaxFrame = DefaultMaxFrame
+	}
+	if opts.ChunkRows <= 0 {
+		opts.ChunkRows = 256
+	}
+	return &Server{
+		db:       opts.DB,
+		opts:     opts,
+		sessions: map[string]*aqe.Session{},
+		conns:    map[*binConn]struct{}{},
+	}
+}
+
+// session returns the shared session for a tenant, creating it on first
+// use. HTTP is stateless per request, so prepared statements live at
+// tenant scope; the binary protocol gets a private session per
+// connection instead.
+func (s *Server) session(tenant string) *aqe.Session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[tenant]
+	if !ok {
+		sess = s.db.NewSession(tenant)
+		s.sessions[tenant] = sess
+	}
+	return sess
+}
+
+// reqCtx derives the request context: the caller's timeout if one was
+// sent, else the server default.
+func (s *Server) reqCtx(parent context.Context, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.opts.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d <= 0 {
+		return context.WithCancel(parent)
+	}
+	return context.WithTimeout(parent, d)
+}
+
+// errDraining refuses new work during shutdown.
+var errDraining = errors.New("server: draining")
+
+// guarded is the single choke point every wire request goes through:
+// drain check, per-request deadline, panic containment. Nothing past it
+// can leak an admission ticket — the engine releases tickets on unwind,
+// and the recover here stops the unwind from killing the server.
+func (s *Server) guarded(ctx context.Context, timeoutMS int, fn func(ctx context.Context) (*aqe.Result, error)) (res *aqe.Result, err error) {
+	if s.draining.Load() {
+		return nil, errDraining
+	}
+	ctx, cancel := s.reqCtx(ctx, timeoutMS)
+	defer cancel()
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("server: internal error: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return fn(ctx)
+}
+
+// runRequest executes one decoded request against a session.
+func (s *Server) runRequest(ctx context.Context, sess *aqe.Session, req *Request) (*aqe.Result, error) {
+	return s.guarded(ctx, req.TimeoutMS, func(ctx context.Context) (*aqe.Result, error) {
+		switch {
+		case req.TPCH != 0:
+			if req.TPCH < 1 || req.TPCH > 22 {
+				return nil, fmt.Errorf("server: tpch query number %d out of range 1-22", req.TPCH)
+			}
+			return sess.ExecQuery(ctx, s.db.TPCHQuery(req.TPCH))
+		case req.SQL != "":
+			return sess.Exec(ctx, req.SQL)
+		default:
+			return nil, errors.New(`server: request needs "sql" or "tpch"`)
+		}
+	})
+}
+
+// Request is the HTTP request body (POST /query). Exactly one of SQL or
+// TPCH must be set; SQL accepts SELECT as well as PREPARE / EXECUTE /
+// DEALLOCATE statements.
+type Request struct {
+	SQL       string `json:"sql,omitempty"`
+	TPCH      int    `json:"tpch,omitempty"`
+	Tenant    string `json:"tenant,omitempty"` // or the X-AQE-Tenant header
+	TimeoutMS int    `json:"timeout_ms,omitempty"`
+}
+
+// header / chunk / trailer are the NDJSON stream lines.
+type wireHeader struct {
+	Cols  []string `json:"cols"`
+	Types []string `json:"types"`
+}
+
+type wireChunk struct {
+	Rows [][]string `json:"rows"`
+}
+
+type wireTrailer struct {
+	Done  bool       `json:"done"`
+	Error string     `json:"error,omitempty"`
+	Stats *WireStats `json:"stats,omitempty"`
+}
+
+// wireStatsOf projects engine stats into the trailer form.
+func wireStatsOf(res *aqe.Result) *WireStats {
+	st := res.Stats
+	return &WireStats{
+		Rows:        int64(len(res.Rows)),
+		TranslateNS: st.Translate.Nanoseconds(),
+		CompileNS:   st.Compile.Nanoseconds(),
+		ExecNS:      st.Exec.Nanoseconds(),
+		WaitNS:      st.WaitTime.Nanoseconds(),
+		TotalNS:     st.Total.Nanoseconds(),
+		CacheHit:    st.CacheHit,
+		Queued:      st.Queued,
+	}
+}
+
+// Handler returns the HTTP handler: POST /query (NDJSON stream), GET
+// /stats (admission + cache counters), GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// handleQuery streams one query result as NDJSON: a header line with
+// column names and types, then chunks of formatted rows (flushed as they
+// are written, so clients see data before the query finishes), then a
+// trailer line with either the stats or the error. Errors before the
+// header are plain HTTP errors; errors after streaming began arrive in
+// the trailer, since the status line is long gone.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, int64(s.opts.MaxFrame)))
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Tenant == "" {
+		req.Tenant = r.Header.Get("X-AQE-Tenant")
+	}
+	res, err := s.runRequest(r.Context(), s.session(req.Tenant), &req)
+	if err != nil {
+		code := http.StatusUnprocessableEntity
+		if errors.Is(err, errDraining) {
+			code = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), code)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flush := func() {
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+	}
+	types := make([]string, len(res.Types))
+	for i, t := range res.Types {
+		types[i] = t.String()
+	}
+	enc.Encode(wireHeader{Cols: res.Cols, Types: types})
+	for lo := 0; lo < len(res.Rows); lo += s.opts.ChunkRows {
+		hi := lo + s.opts.ChunkRows
+		if hi > len(res.Rows) {
+			hi = len(res.Rows)
+		}
+		chunk := wireChunk{Rows: make([][]string, 0, hi-lo)}
+		for _, row := range res.Rows[lo:hi] {
+			cells := make([]string, len(row))
+			for j, d := range row {
+				cells[j] = exec.Format(d, res.Types[j])
+			}
+			chunk.Rows = append(chunk.Rows, cells)
+		}
+		enc.Encode(chunk)
+		flush()
+	}
+	enc.Encode(wireTrailer{Done: true, Stats: wireStatsOf(res)})
+	flush()
+}
+
+// handleStats reports server-wide admission and plan-cache counters.
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	eng := s.db.Engine()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"admission": eng.SchedStats(),
+		"cache":     eng.CacheStats(),
+	})
+}
+
+// ServeHTTP attaches an HTTP listener and blocks serving it until
+// Shutdown (which returns http.ErrServerClosed here) or a listener
+// error.
+func (s *Server) ServeHTTP(ln net.Listener) error {
+	srv := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.httpSrvs = append(s.httpSrvs, srv)
+	s.mu.Unlock()
+	return srv.Serve(ln)
+}
+
+// Shutdown drains the server: new requests are refused, in-flight
+// queries run to completion (bounded by ctx), idle binary connections
+// are closed immediately, and busy ones are force-closed only if ctx
+// expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	s.mu.Lock()
+	httpSrvs := append([]*http.Server(nil), s.httpSrvs...)
+	binLns := append([]net.Listener(nil), s.binLns...)
+	conns := make([]*binConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	for _, ln := range binLns {
+		ln.Close()
+	}
+	// Idle binary connections sit in a frame read; closing the socket is
+	// the only way to wake them. Busy ones get to finish their request
+	// (the handler exits after it, seeing the drain flag).
+	for _, c := range conns {
+		if !c.busy.Load() {
+			c.c.Close()
+		}
+	}
+	var err error
+	for _, srv := range httpSrvs {
+		if e := srv.Shutdown(ctx); e != nil && err == nil {
+			err = e
+		}
+	}
+	done := make(chan struct{})
+	go func() { s.binWG.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		for _, c := range conns {
+			c.c.Close()
+		}
+		<-done
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}

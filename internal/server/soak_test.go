@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"aqe"
+)
+
+// TestSoakRandomSessions hammers the server with 200 short random
+// client lifecycles across 8 tenants — connect, prepare, execute with
+// random bindings, plain queries, aggressive deadlines, and abrupt
+// disconnects — then checks that (a) no goroutines leaked, (b) no
+// admission tickets leaked, and (c) the plan cache is still consistent:
+// a parameterized statement re-executed after the soak still hits its
+// one cached entry and returns correct rows.
+func TestSoakRandomSessions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	ts := startServer(t, aqe.Options{
+		MaxConcurrent:          6,
+		MaxConcurrentPerTenant: 2,
+		TenantWeights:          map[string]int{"t0": 4, "t1": 2},
+	}, 0.005, Options{DefaultTimeout: 5 * time.Second, ChunkRows: 32})
+
+	baseline := runtime.NumGoroutine()
+
+	const iterations = 200
+	const parallel = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, iterations)
+	sem := make(chan struct{}, parallel)
+	for i := 0; i < iterations; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := soakIteration(ts, i); err != nil {
+				errs <- fmt.Errorf("iteration %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Goroutine leak check: allow the runtime a moment to reap
+	// connection handlers, then require the count back near baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	var n int
+	for {
+		runtime.GC()
+		n = runtime.NumGoroutine()
+		if n <= baseline+5 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if n > baseline+5 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d now vs %d baseline\n%s",
+			n, baseline, buf[:runtime.Stack(buf, true)])
+	}
+	if st := ts.db.Engine().SchedStats(); st.Running != 0 || st.Waiting != 0 {
+		t.Fatalf("admission tickets leaked: running=%d waiting=%d", st.Running, st.Waiting)
+	}
+
+	// Post-soak cache consistency: the shared statement still resolves
+	// to one healthy cache entry and produces correct results.
+	cl, err := Dial(ts.binAddr, "t0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if err := cl.Prepare("post", soakStmt); err != nil {
+		t.Fatal(err)
+	}
+	all, err := cl.Execute("post", []string{"0"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	none, err := cl.Execute("post", []string{"999999999"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !none.Stats.CacheHit || none.Stats.TranslateNS != 0 || none.Stats.CompileNS != 0 {
+		t.Fatalf("post-soak EXECUTE missed the cache: %+v", none.Stats)
+	}
+	if all.Rows[0][0].I <= 0 || none.Rows[0][0].I != 0 {
+		t.Fatalf("post-soak results wrong: all=%d none=%d", all.Rows[0][0].I, none.Rows[0][0].I)
+	}
+}
+
+// soakStmt is the parameterized statement every soak client prepares —
+// all sessions share its single plan-cache entry.
+const soakStmt = `SELECT count(*) AS n FROM orders WHERE o_totalprice > $1`
+
+// soakIteration is one random client lifecycle. Errors that are part of
+// the chaos being injected (deadline cancellations, queries racing a
+// closed connection) are not failures; protocol corruption is.
+func soakIteration(ts *testServer, i int) error {
+	rng := rand.New(rand.NewSource(int64(i) * 7919))
+	tenant := fmt.Sprintf("t%d", rng.Intn(8))
+	cl, err := Dial(ts.binAddr, tenant)
+	if err != nil {
+		return fmt.Errorf("dial: %w", err)
+	}
+	defer cl.Close()
+	steps := 1 + rng.Intn(4)
+	for s := 0; s < steps; s++ {
+		switch rng.Intn(5) {
+		case 0: // plain query
+			res, err := cl.Query(`SELECT o_orderstatus, count(*) AS n FROM orders
+			                      GROUP BY o_orderstatus ORDER BY o_orderstatus`, 0)
+			if err != nil {
+				return fmt.Errorf("query: %w", err)
+			}
+			if int64(len(res.Rows)) != res.Stats.Rows {
+				return fmt.Errorf("torn result: %d rows vs stats %d", len(res.Rows), res.Stats.Rows)
+			}
+		case 1: // prepare + execute with a random binding
+			name := fmt.Sprintf("s%d_%d", i, s)
+			if err := cl.Prepare(name, soakStmt); err != nil {
+				return fmt.Errorf("prepare: %w", err)
+			}
+			lit := fmt.Sprintf("%d.%02d", rng.Intn(500000), rng.Intn(100))
+			if _, err := cl.Execute(name, []string{lit}, 0); err != nil {
+				return fmt.Errorf("execute: %w", err)
+			}
+			if rng.Intn(2) == 0 {
+				if err := cl.Deallocate(name); err != nil {
+					return fmt.Errorf("deallocate: %w", err)
+				}
+			}
+		case 2: // aggressive deadline: cancellation is fine, corruption is not
+			res, err := cl.TPCH(1+rng.Intn(22), time.Duration(1+rng.Intn(3))*time.Millisecond)
+			if err == nil && int64(len(res.Rows)) != res.Stats.Rows {
+				return fmt.Errorf("torn result under deadline")
+			}
+			if err != nil {
+				return nil // statement errors close nothing; but keep it simple: stop this client
+			}
+		case 3: // bogus statement: connection must survive
+			if _, err := cl.Execute("never_prepared", []string{"1"}, 0); err == nil {
+				return fmt.Errorf("bogus EXECUTE succeeded")
+			}
+		case 4: // abrupt disconnect mid-lifecycle
+			cl.Close()
+			return nil
+		}
+	}
+	return nil
+}

@@ -20,6 +20,7 @@ const (
 	tkString
 	tkOp      // punctuation and operators
 	tkKeyword // normalized upper-case keyword
+	tkParam   // $n placeholder; text is the decimal number
 )
 
 type token struct {
@@ -35,7 +36,8 @@ var keywords = map[string]bool{
 	"WHEN": true, "THEN": true, "ELSE": true, "END": true, "ASC": true,
 	"DESC": true, "COUNT": true, "SUM": true, "AVG": true, "MIN": true,
 	"MAX": true, "DATE": true, "YEAR": true, "SUBSTR": true, "HAVING": true,
-	"DISTINCT": true, "INTERVAL": true,
+	"DISTINCT": true, "INTERVAL": true, "PREPARE": true, "EXECUTE": true,
+	"DEALLOCATE": true,
 }
 
 type lexer struct {
@@ -55,6 +57,10 @@ func lex(src string) ([]token, error) {
 			l.number()
 		case c == '\'':
 			if err := l.str(); err != nil {
+				return nil, err
+			}
+		case c == '$':
+			if err := l.param(); err != nil {
 				return nil, err
 			}
 		case isIdentStart(c):
@@ -104,6 +110,20 @@ func (l *lexer) str() error {
 		l.pos++
 	}
 	return fmt.Errorf("sql: unterminated string at %d", start)
+}
+
+func (l *lexer) param() error {
+	start := l.pos
+	l.pos++ // '$'
+	d0 := l.pos
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos == d0 {
+		return fmt.Errorf("sql: expected parameter number after $ at %d", start)
+	}
+	l.toks = append(l.toks, token{kind: tkParam, text: l.src[d0:l.pos], pos: start})
+	return nil
 }
 
 func (l *lexer) ident() {

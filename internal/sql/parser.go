@@ -36,6 +36,7 @@ type nCall struct {
 	name string
 	args []node
 }
+type nParam struct{ idx int } // $1 is idx 0
 
 type selItem struct {
 	agg   string // "", "count", "count*", "sum", "avg", "min", "max"
@@ -453,6 +454,14 @@ func (p *parser) primary() (node, error) {
 	case tkString:
 		p.pos++
 		return nStr{s: t.text}, nil
+	case tkParam:
+		p.pos++
+		n := 0
+		fmt.Sscanf(t.text, "%d", &n)
+		if n < 1 {
+			return nil, p.errf("parameter numbers start at $1")
+		}
+		return nParam{idx: n - 1}, nil
 	case tkIdent:
 		p.pos++
 		name := t.text

@@ -36,6 +36,19 @@ type bindFail struct{ err error }
 // engine's Replanner, so callers may run the plan with mid-query
 // reoptimization. Single-table queries return a nil Prepared.
 func PlanOpt(query string, cat *storage.Catalog) (node plan.Node, prep *opt.Prepared, err error) {
+	node, prep, _, err = PlanBind(query, cat, nil)
+	return node, prep, err
+}
+
+// PlanBind plans a parameterized query under the given binding values:
+// every $n in the query lowers to an expr.Param node typed from args[n-1]
+// (so the plan — and its fingerprint — depends only on parameter slots,
+// never values), and the returned constants are the bindings after the
+// binder's coercions (single-char strings against char columns, ints and
+// date strings against date columns) — pass them to the engine verbatim.
+// A nil args plans an unparameterized query; $n is then an error, as is
+// a bound parameter the query never references.
+func PlanBind(query string, cat *storage.Catalog, args []*expr.Const) (node plan.Node, prep *opt.Prepared, bound []*expr.Const, err error) {
 	// The expr and plan constructors treat type violations as programming
 	// errors and panic; here they are user errors (e.g. `date * string`),
 	// so convert their panics into planning errors at this boundary. The
@@ -44,13 +57,13 @@ func PlanOpt(query string, cat *storage.Catalog) (node plan.Node, prep *opt.Prep
 	defer func() {
 		if r := recover(); r != nil {
 			if bf, ok := r.(*bindFail); ok {
-				node, prep, err = nil, nil, bf.err
+				node, prep, bound, err = nil, nil, nil, bf.err
 				return
 			}
 			msg := fmt.Sprint(r)
 			if strings.HasPrefix(msg, "expr:") || strings.HasPrefix(msg, "plan:") ||
 				strings.HasPrefix(msg, "opt:") {
-				node, prep, err = nil, nil, fmt.Errorf("sql: %s", msg)
+				node, prep, bound, err = nil, nil, nil, fmt.Errorf("sql: %s", msg)
 				return
 			}
 			panic(r)
@@ -58,10 +71,24 @@ func PlanOpt(query string, cat *storage.Catalog) (node plan.Node, prep *opt.Prep
 	}()
 	a, err := parse(query)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	b := &binder{cat: cat}
-	return b.plan(a)
+	if args != nil {
+		b.params = make([]*expr.Const, len(args))
+		copy(b.params, args)
+		b.paramUsed = make([]bool, len(args))
+	}
+	node, prep, err = b.plan(a)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	for i, used := range b.paramUsed {
+		if !used {
+			return nil, nil, nil, fmt.Errorf("sql: parameter $%d is not referenced", i+1)
+		}
+	}
+	return node, prep, b.params, nil
 }
 
 type binder struct {
@@ -72,6 +99,15 @@ type binder struct {
 	// schema of the joined row, set once scans are planned.
 	schema []plan.ColDef
 	colIdx map[string]int
+	// params are the EXECUTE binding values (nil outside EXECUTE); the
+	// binder coerces them in place so the caller runs the converted
+	// constants. paramUsed flags every referenced index.
+	params    []*expr.Const
+	paramUsed []bool
+	// inOrder marks ORDER BY binding, where parameters are rejected:
+	// sort keys are evaluated by the interpreter, which has no parameter
+	// segment.
+	inOrder bool
 }
 
 func (b *binder) plan(a *ast) (plan.Node, *opt.Prepared, error) {
@@ -321,6 +357,8 @@ func (b *binder) finish(a *ast, root plan.Node, residual []node) (plan.Node, err
 
 	// ORDER BY binds against the output schema.
 	if len(a.order) > 0 || a.limit >= 0 {
+		b.inOrder = true
+		defer func() { b.inOrder = false }()
 		var keys []plan.SortKey
 		for _, o := range a.order {
 			e, err := b.bind(o.e, root.Schema(), outNames)
@@ -522,6 +560,22 @@ func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Exp
 		return expr.Int(v), nil
 	case nStr:
 		return expr.Str(x.s), nil
+	case nParam:
+		if b.params == nil {
+			return nil, fmt.Errorf("sql: parameter $%d requires EXECUTE binding values", x.idx+1)
+		}
+		if x.idx >= len(b.params) {
+			return nil, fmt.Errorf("sql: statement uses $%d but only %d value(s) were bound",
+				x.idx+1, len(b.params))
+		}
+		if b.params[x.idx] == nil {
+			return nil, fmt.Errorf("sql: parameter $%d is unbound", x.idx+1)
+		}
+		if b.inOrder {
+			return nil, fmt.Errorf("sql: parameter $%d in ORDER BY is not supported", x.idx+1)
+		}
+		b.paramUsed[x.idx] = true
+		return expr.ParamRef(x.idx, b.params[x.idx].T), nil
 	case nDate:
 		d, err := storage.ParseDate(x.s)
 		if err != nil {
@@ -537,7 +591,7 @@ func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Exp
 		if err != nil {
 			return nil, err
 		}
-		return bindBin(x.op, l, r)
+		return b.bindBin(x.op, l, r)
 	case nNot:
 		a, err := b.bind(x.arg, schema, outNames)
 		if err != nil {
@@ -564,6 +618,9 @@ func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Exp
 			if err != nil {
 				return nil, err
 			}
+			if _, isParam := le.(*expr.Param); isParam {
+				return nil, fmt.Errorf("sql: parameters in IN lists are not supported")
+			}
 			// Char columns compare against single-char strings.
 			if a.Type().Kind == expr.KChar {
 				if c, ok := le.(*expr.Const); ok && c.T.Kind == expr.KString && len(c.S) == 1 {
@@ -586,7 +643,7 @@ func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Exp
 		if err != nil {
 			return nil, err
 		}
-		return expr.Between(a, coerce(lo, a), coerce(hi, a)), nil
+		return expr.Between(a, b.coerce(lo, a), b.coerce(hi, a)), nil
 	case nCase:
 		var whens []expr.When
 		var thenT expr.Type
@@ -649,7 +706,7 @@ func (b *binder) bind(n node, schema []plan.ColDef, outNames []string) (expr.Exp
 	return nil, fmt.Errorf("sql: cannot bind %T", n)
 }
 
-func bindBin(op string, l, r expr.Expr) (expr.Expr, error) {
+func (b *binder) bindBin(op string, l, r expr.Expr) (expr.Expr, error) {
 	switch op {
 	case "AND":
 		return expr.And(l, r), nil
@@ -664,10 +721,11 @@ func bindBin(op string, l, r expr.Expr) (expr.Expr, error) {
 	case "/":
 		return expr.Div(l, r), nil
 	}
-	// Comparisons: coerce char-vs-string and date-vs-... literals.
-	l2, r2 := l, coerce(r, l)
-	if l2.Type().Kind == expr.KString && r2.Type().Kind == expr.KChar {
-		l2 = coerce(l, r2)
+	// Comparisons: coerce char-vs-string and date-vs-... literals (and
+	// parameters, whose binding values convert the same way).
+	l2, r2 := l, b.coerce(r, l)
+	if l2.Type().Kind != r2.Type().Kind {
+		l2 = b.coerce(l, r2)
 	}
 	var cmp expr.CmpOp
 	switch op {
@@ -685,6 +743,38 @@ func bindBin(op string, l, r expr.Expr) (expr.Expr, error) {
 		cmp = expr.CmpGe
 	}
 	return expr.NewCmp(cmp, l2, r2), nil
+}
+
+// coerce is the binder-aware literal coercion: constants convert as in
+// the free function below; parameters convert their *binding value* by
+// declared type only (a KString binding against a char column must be a
+// single character, a KInt or date-string binding against a date column
+// becomes a date), so the same plan shape serves every value of the
+// slot.
+func (b *binder) coerce(e expr.Expr, other expr.Expr) expr.Expr {
+	p, ok := e.(*expr.Param)
+	if !ok || b.params == nil {
+		return coerce(e, other)
+	}
+	v := b.params[p.Idx]
+	switch {
+	case other.Type().Kind == expr.KChar && v.T.Kind == expr.KString:
+		if len(v.S) != 1 {
+			panic(&bindFail{fmt.Errorf("sql: parameter $%d binds a char column and must be one character, got %q", p.Idx+1, v.S)})
+		}
+		b.params[p.Idx] = expr.Ch(v.S[0]).(*expr.Const)
+	case other.Type().Kind == expr.KDate && v.T.Kind == expr.KInt:
+		b.params[p.Idx] = expr.Date(v.I).(*expr.Const)
+	case other.Type().Kind == expr.KDate && v.T.Kind == expr.KString:
+		d, err := storage.ParseDate(v.S)
+		if err != nil {
+			panic(&bindFail{fmt.Errorf("sql: parameter $%d binds a date column: %v", p.Idx+1, err)})
+		}
+		b.params[p.Idx] = expr.Date(d).(*expr.Const)
+	default:
+		return e
+	}
+	return expr.ParamRef(p.Idx, b.params[p.Idx].T)
 }
 
 // coerce adapts a literal to the other operand's type where SQL would:

@@ -1,0 +1,164 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"aqe/internal/expr"
+	"aqe/internal/storage"
+)
+
+// StmtKind classifies a top-level statement.
+type StmtKind int
+
+// Statement kinds. Everything that is not a prepared-statement command
+// is a query (StmtSelect) and planned as before.
+const (
+	StmtSelect StmtKind = iota
+	StmtPrepare
+	StmtExecute
+	StmtDeallocate
+)
+
+// Stmt is one parsed top-level statement.
+//
+//	PREPARE <name> AS SELECT ...       -> StmtPrepare    (Name, Body)
+//	EXECUTE <name> [(lit, lit, ...)]   -> StmtExecute    (Name, Args)
+//	DEALLOCATE [PREPARE] <name>        -> StmtDeallocate (Name)
+//	SELECT ...                         -> StmtSelect     (Body = source)
+type Stmt struct {
+	Kind StmtKind
+	Name string
+	Body string
+	Args []*expr.Const
+}
+
+// ParseStmt classifies and parses one statement. A PREPARE body is
+// syntax-checked immediately but bound and planned only at EXECUTE,
+// when the parameter types are known from the binding values.
+func ParseStmt(src string) (*Stmt, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	switch {
+	case p.acceptKw("PREPARE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("AS"); err != nil {
+			return nil, err
+		}
+		if p.atEOF() {
+			return nil, p.errf("PREPARE body is empty")
+		}
+		body := strings.TrimSpace(src[p.cur().pos:])
+		if _, err := parse(body); err != nil {
+			return nil, err
+		}
+		return &Stmt{Kind: StmtPrepare, Name: name, Body: body}, nil
+	case p.acceptKw("EXECUTE"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		st := &Stmt{Kind: StmtExecute, Name: name}
+		if p.acceptOp("(") {
+			for {
+				c, err := p.literal()
+				if err != nil {
+					return nil, err
+				}
+				st.Args = append(st.Args, c)
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+		}
+		if !p.atEOF() {
+			return nil, p.errf("trailing input %q", p.cur().text)
+		}
+		return st, nil
+	case p.acceptKw("DEALLOCATE"):
+		p.acceptKw("PREPARE")
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if !p.atEOF() {
+			return nil, p.errf("trailing input %q", p.cur().text)
+		}
+		return &Stmt{Kind: StmtDeallocate, Name: name}, nil
+	}
+	return &Stmt{Kind: StmtSelect, Body: src}, nil
+}
+
+// literal parses one constant (number, 'string', DATE '...', optionally
+// negated) for an EXECUTE binding list.
+func (p *parser) literal() (*expr.Const, error) {
+	n, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	return literalConst(n)
+}
+
+// ParseLiteral parses one SQL literal into a typed constant — the
+// binding-value syntax clients use over the wire.
+func ParseLiteral(src string) (*expr.Const, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	n, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	if !p.atEOF() {
+		return nil, p.errf("trailing input %q", p.cur().text)
+	}
+	return literalConst(n)
+}
+
+// literalConst lowers a literal AST node to a constant, mirroring the
+// binder's literal lowering (decimals keep their written scale).
+func literalConst(n node) (*expr.Const, error) {
+	switch x := n.(type) {
+	case nNum:
+		if i := strings.IndexByte(x.text, '.'); i >= 0 {
+			frac := x.text[i+1:]
+			var v int64
+			fmt.Sscanf(x.text[:i]+frac, "%d", &v)
+			return expr.Dec(v, len(frac)).(*expr.Const), nil
+		}
+		var v int64
+		fmt.Sscanf(x.text, "%d", &v)
+		return expr.Int(v).(*expr.Const), nil
+	case nStr:
+		return expr.Str(x.s).(*expr.Const), nil
+	case nDate:
+		d, err := storage.ParseDate(x.s)
+		if err != nil {
+			return nil, fmt.Errorf("sql: bad DATE literal %q: %v", x.s, err)
+		}
+		return expr.Date(d).(*expr.Const), nil
+	case nBin:
+		// primary parses "-3" as 0 - 3; fold it back to a constant.
+		if z, ok := x.l.(nNum); ok && x.op == "-" && z.text == "0" {
+			c, err := literalConst(x.r)
+			if err != nil {
+				return nil, err
+			}
+			neg := *c
+			neg.I, neg.F = -c.I, -c.F
+			return &neg, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: expected a literal binding value")
+}

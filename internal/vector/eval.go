@@ -55,6 +55,8 @@ func (rc *runCtx) eval(e expr.Expr, fr *frame, sel []int32) *col {
 		return fr.col(rc, x.Idx)
 	case *expr.Const:
 		return rc.constCol(x, fr, sel)
+	case *expr.Param:
+		return rc.paramCol(x, fr, sel)
 	case *expr.Arith:
 		return rc.evalArith(x, fr, sel)
 	case *expr.Cmp:
@@ -149,6 +151,36 @@ func (rc *runCtx) constCol(x *expr.Const, fr *frame, sel []int32) *col {
 		o := out.ints(fr.n)
 		for _, k := range sel {
 			o[k] = x.I
+		}
+	}
+	return out
+}
+
+// paramCol broadcasts prepared-statement parameter x. The 16-byte slot is
+// read through the run's segment table at the spec's ParamBase, so a
+// fingerprint-cached kernel evaluates the current execution's binding,
+// never the one it was first staged against.
+func (rc *runCtx) paramCol(x *expr.Param, fr *frame, sel []int32) *col {
+	out := rc.newCol()
+	slot := rc.kern.spec.ParamBase + uint64(x.Idx)*16
+	switch x.T.Kind {
+	case expr.KString:
+		addr, l := rc.ld64(slot), int64(rc.ld64(slot+8))
+		sa, sl := out.strs(fr.n)
+		for _, k := range sel {
+			sa[k], sl[k] = addr, l
+		}
+	case expr.KFloat:
+		v := math.Float64frombits(rc.ld64(slot))
+		f := out.floats(fr.n)
+		for _, k := range sel {
+			f[k] = v
+		}
+	default:
+		v := int64(rc.ld64(slot))
+		o := out.ints(fr.n)
+		for _, k := range sel {
+			o[k] = v
 		}
 	}
 	return out
